@@ -1,0 +1,43 @@
+"""Benchmark fixtures: one shared workload build per session.
+
+The benchmarks regenerate every table and figure of the paper at a reduced
+scale factor (override with ``--repro-scale``). Rendered tables are printed
+and also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.harness import WorkloadSettings, get_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        type=float,
+        default=0.001,
+        help="TPC-D scale factor for benchmark workloads (default 0.001)",
+    )
+
+
+@pytest.fixture(scope="session")
+def workload(request):
+    scale = request.config.getoption("--repro-scale")
+    return get_workload(WorkloadSettings(scale=scale))
+
+
+@pytest.fixture(scope="session")
+def publish():
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _publish(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _publish

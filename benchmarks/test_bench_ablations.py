@@ -1,0 +1,34 @@
+"""Ablation benches: CFA-size sweep, threshold sensitivity, seed selection
+(the design choices DESIGN.md calls out, paper Sections 5.1-5.3, 7.2)."""
+
+from repro.experiments import ablations
+
+
+def test_bench_cfa_sweep(benchmark, workload, publish):
+    points = benchmark.pedantic(ablations.cfa_sweep, args=(workload,), rounds=1, iterations=1)
+    publish("ablation_cfa_sweep", ablations.render(points, "Ablation: CFA size sweep (32KB, ops)"))
+    # some CFA beats no CFA on miss rate, demonstrating the mechanism
+    by_label = {p.label: p for p in points}
+    assert min(p.miss_rate for p in points) <= by_label["32/0"].miss_rate + 1e-9
+
+
+def test_bench_threshold_sweep(benchmark, workload, publish):
+    points = benchmark.pedantic(
+        ablations.threshold_sweep, args=(workload,), rounds=1, iterations=1
+    )
+    publish(
+        "ablation_thresholds", ablations.render(points, "Ablation: threshold sensitivity (32/16, ops)")
+    )
+    # an extreme branch threshold hurts sequentiality vs the default
+    by_label = {p.label: p for p in points}
+    assert by_label["branch=0.6"].run_length <= by_label["branch=0.08"].run_length + 1e-9
+
+
+def test_bench_seed_selection(benchmark, workload, publish):
+    points = benchmark.pedantic(
+        ablations.seed_comparison, args=(workload,), rounds=1, iterations=1
+    )
+    publish("ablation_seeds", ablations.render(points, "Ablation: seed selection (32/16)"))
+    assert len(points) == 2
+    for p in points:
+        assert p.ipc > 0

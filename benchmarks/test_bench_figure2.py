@@ -1,0 +1,16 @@
+"""Regenerates paper Figure 2 (reference concentration) and the Section 4.1
+temporal-locality claims."""
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2(benchmark, workload, publish):
+    data = benchmark.pedantic(figure2.compute, args=(workload,), rounds=1, iterations=1)
+    publish("figure2", figure2.render(data))
+    # concentration: the hottest blocks capture most references
+    fractions = dict(data.curve_samples)
+    assert fractions[1000] > 0.85
+    assert data.blocks_for_90 <= 1500
+    # temporal locality: popular blocks re-execute within a few hundred instructions
+    assert data.reuse_within_250 > 0.10
+    assert data.reuse_within_100 <= data.reuse_within_250

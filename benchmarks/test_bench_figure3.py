@@ -1,0 +1,11 @@
+"""Regenerates paper Figure 3 (the trace-building worked example)."""
+
+from repro.experiments import figure3
+
+
+def test_bench_figure3(benchmark, publish):
+    sequences, discarded = benchmark.pedantic(figure3.compute, rounds=1, iterations=1)
+    publish("figure3", figure3.render((sequences, discarded)))
+    assert sequences[0] == ["A1", "A2", "A3", "A4", "C1", "C2", "C3", "C4", "A7", "A8"]
+    assert sequences[1] == ["A5"]
+    assert set(discarded) == {"A6", "B1", "C5"}

@@ -1,0 +1,18 @@
+"""Extension bench: profile-guided function cloning (paper Section 8:
+"code expanding techniques ... can increase the potential fetch bandwidth
+... while keeping the miss rate under control")."""
+
+from repro.experiments import inlining
+
+
+def test_bench_inlining(benchmark, workload, publish):
+    rows, n_clones = benchmark.pedantic(
+        inlining.compute, args=(workload,), rounds=1, iterations=1
+    )
+    publish("inlining", inlining.render((rows, n_clones)))
+    base, cloned = rows
+    assert n_clones > 0
+    # replication grows the static image ...
+    assert cloned[1] > base[1]
+    # ... and raises the *potential* (ideal) fetch bandwidth
+    assert cloned[4] >= base[4] - 0.05

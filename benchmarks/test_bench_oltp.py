@@ -1,0 +1,24 @@
+"""Extension bench: OLTP transaction mix and profile cross-training
+(paper Section 8 future work)."""
+
+import pytest
+
+from repro.experiments import oltp as oltp_exp
+from repro.kernel import ColdCodeConfig
+from repro.oltp.workload import OLTPWorkload
+
+
+@pytest.fixture(scope="module")
+def oltp_workload(request):
+    return OLTPWorkload.build(dss_scale=0.001, warehouses=2, n_transactions=200)
+
+
+def test_bench_oltp_cross_training(benchmark, oltp_workload, publish):
+    rows = benchmark.pedantic(oltp_exp.compute, args=(oltp_workload,), rounds=1, iterations=1)
+    publish("oltp_cross_training", oltp_exp.render(rows))
+    by_name = {r[0]: r for r in rows}
+    # self-trained layout clearly beats the original code on its own workload
+    assert by_name["oltp-trained"][1] < 0.8 * by_name["orig"][1]
+    assert by_name["oltp-trained"][2] > by_name["orig"][2]
+    # the DSS profile misses OLTP's write paths: the transfer is weaker
+    assert by_name["oltp-trained"][1] <= by_name["dss-trained"][1]

@@ -1,0 +1,18 @@
+"""Extension bench: bimodal branch prediction per layout (the fetch factor
+the paper holds perfect, Section 7.1)."""
+
+from repro.experiments import prediction
+
+
+def test_bench_prediction(benchmark, workload, publish):
+    rows = benchmark.pedantic(
+        prediction.compute, args=(workload,), rounds=1, iterations=1
+    )
+    publish("prediction", prediction.render(rows))
+    by_name = {r[0]: r for r in rows}
+    # reordering turns most dynamic branches into not-taken fall-throughs
+    for name in ("P&H", "Torr", "auto", "ops"):
+        assert by_name[name][1] < by_name["orig"][1], name
+    # accuracy stays high everywhere (branches are ~80% deterministic)
+    for row in rows:
+        assert row[2] > 70.0

@@ -1,0 +1,11 @@
+"""Regenerates paper Table 1 (static vs executed program elements)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, workload, publish):
+    rows = benchmark.pedantic(table1.compute, args=(workload,), rounds=1, iterations=1)
+    publish("table1", table1.render(rows))
+    # sanity on the paper's qualitative claim: most of the binary never runs
+    for element, (_total, _executed, pct) in rows.items():
+        assert pct < 50.0, f"{element}: executed fraction should be well below half"

@@ -1,0 +1,20 @@
+"""Regenerates paper Table 2 (block-kind mix and determinism)."""
+
+from repro.cfg import BlockKind
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, workload, publish):
+    mix, determinism = benchmark.pedantic(table2.compute, args=(workload,), rounds=1, iterations=1)
+    publish("table2", table2.render((mix, determinism)))
+    # shares sum to one in both views
+    assert abs(sum(mix.static.values()) - 1.0) < 1e-9
+    assert abs(sum(mix.dynamic.values()) - 1.0) < 1e-9
+    # calls and returns balance dynamically (top-level invocations emit a
+    # return with no instrumented caller, so a tiny excess of returns is
+    # expected) and both are fully predictable
+    assert abs(mix.dynamic[BlockKind.CALL] - mix.dynamic[BlockKind.RETURN]) < 1e-3
+    assert mix.predictable[BlockKind.FALL_THROUGH] == 1.0
+    # the paper's punchline: ~80% of transitions are predictable, branches are not
+    assert 0.6 < mix.overall_predictable < 0.95
+    assert mix.predictable[BlockKind.BRANCH] < 0.9

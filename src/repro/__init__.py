@@ -1,0 +1,20 @@
+"""Software Trace Cache reproduction (Ramirez et al., ICPP 1999).
+
+Subpackages:
+
+* :mod:`repro.core` -- the STC layout algorithm (the paper's contribution)
+* :mod:`repro.baselines` -- original, Pettis & Hansen, Torrellas layouts
+* :mod:`repro.cfg` -- static program representation and layouts
+* :mod:`repro.profiling` -- traces, profiles, workload characterization
+* :mod:`repro.kernel` -- instrumentation and synthetic kernel bodies
+* :mod:`repro.minidb` -- the relational engine substrate
+* :mod:`repro.tpcd` -- TPC-D schema, data generator, the 17 queries
+* :mod:`repro.simulators` -- SEQ.3 fetch unit, i-caches, trace cache
+* :mod:`repro.experiments` -- per-table/figure reproduction harness
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

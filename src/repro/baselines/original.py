@@ -1,0 +1,14 @@
+"""The original (compiler/link order) layout."""
+
+from __future__ import annotations
+
+from repro.cfg.layout import Layout
+from repro.cfg.program import Program
+
+__all__ = ["original_layout"]
+
+
+def original_layout(program: Program) -> Layout:
+    """Blocks at their original addresses: procedure link order, source
+    order within each procedure (cold error paths inline, as compiled)."""
+    return Layout.original(program)

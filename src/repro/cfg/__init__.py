@@ -1,0 +1,25 @@
+"""Static program representation.
+
+This package models what the paper obtains from the compiled PostgreSQL
+binary: a static image made of procedures, each a list of basic blocks with a
+size (in instructions) and a kind (how the block ends), plus the weighted
+dynamic control-flow graph recovered from profiling.
+
+Addresses are byte addresses with 4 bytes per instruction (Alpha ISA, as in
+the paper).
+"""
+
+from repro.cfg.blocks import BlockKind, Procedure, INSTR_BYTES
+from repro.cfg.program import Program, ProgramBuilder
+from repro.cfg.layout import Layout
+from repro.cfg.weighted import WeightedCFG
+
+__all__ = [
+    "BlockKind",
+    "Procedure",
+    "Program",
+    "ProgramBuilder",
+    "Layout",
+    "WeightedCFG",
+    "INSTR_BYTES",
+]

@@ -1,0 +1,74 @@
+"""Basic block kinds and procedure descriptors.
+
+The paper (Section 4.2) classifies basic blocks into four kinds by how they
+end, because the kind determines how the block can affect program flow:
+
+* ``FALL_THROUGH`` — no terminating branch; execution always continues at the
+  next sequential block.
+* ``BRANCH`` — ends with a conditional or unconditional branch.
+* ``CALL`` — ends with a subroutine invocation (or indirect jump); may have
+  many successors.
+* ``RETURN`` — ends with a subroutine return; has one successor per caller.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BlockKind", "Procedure", "INSTR_BYTES"]
+
+#: Bytes per instruction (fixed-width Alpha encoding, as in the paper).
+INSTR_BYTES = 4
+
+
+class BlockKind(enum.IntEnum):
+    """How a basic block terminates (paper Table 2 taxonomy)."""
+
+    FALL_THROUGH = 0
+    BRANCH = 1
+    CALL = 2
+    RETURN = 3
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """A procedure in the static image.
+
+    ``blocks`` lists global block ids in source order; the first entry is the
+    procedure's entry block. ``module`` mirrors the DBMS module layering of
+    Figure 1 (executor, access, buffer, storage, ...) and is used by the
+    knowledge-based *ops* seed selection, which takes the entry points of the
+    Executor operations.
+    """
+
+    pid: int
+    name: str
+    module: str
+    blocks: tuple[int, ...]
+    is_operation: bool = False
+    cold: bool = False
+    _block_set: frozenset[int] = field(init=False, repr=False, compare=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError(f"procedure {self.name!r} has no blocks")
+        object.__setattr__(self, "_block_set", frozenset(self.blocks))
+
+    @property
+    def entry(self) -> int:
+        """Global id of the procedure's entry block."""
+        return self.blocks[0]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._block_set
+
+    def size_instructions(self, block_size: np.ndarray) -> int:
+        """Total instructions in the procedure given the program's size table."""
+        return int(block_size[list(self.blocks)].sum())

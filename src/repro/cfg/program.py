@@ -1,0 +1,161 @@
+"""The static program image.
+
+A :class:`Program` is the analogue of the compiled database binary: a table
+of basic blocks (size in instructions, kind, owning procedure) plus the list
+of procedures in original link order. Static successor edges (from the body
+models) are kept for analysis; the layout algorithms work on the *weighted*
+dynamic CFG recovered from profiling (:mod:`repro.cfg.weighted`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cfg.blocks import INSTR_BYTES, BlockKind, Procedure
+
+__all__ = ["Program", "ProgramBuilder"]
+
+
+@dataclass(frozen=True)
+class Program:
+    """Immutable static image: blocks, procedures and static edges.
+
+    Attributes
+    ----------
+    block_size:
+        ``int32[n_blocks]`` — instructions per block (>= 1).
+    block_kind:
+        ``int8[n_blocks]`` — :class:`BlockKind` values.
+    block_proc:
+        ``int32[n_blocks]`` — owning procedure id per block.
+    procedures:
+        Procedures in original link order; block ids within each procedure
+        are contiguous and in source order, so the original code layout is
+        simply blocks ``0..n_blocks-1`` in id order.
+    static_succ:
+        Optional static successor lists (branch/fall-through edges only;
+        call and return targets are inter-procedural and resolved
+        dynamically), keyed by block id.
+    """
+
+    block_size: np.ndarray
+    block_kind: np.ndarray
+    block_proc: np.ndarray
+    procedures: tuple[Procedure, ...]
+    static_succ: dict[int, tuple[int, ...]]
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.block_size.shape[0])
+
+    @property
+    def n_procedures(self) -> int:
+        return len(self.procedures)
+
+    @property
+    def n_instructions(self) -> int:
+        return int(self.block_size.sum())
+
+    @property
+    def image_bytes(self) -> int:
+        return self.n_instructions * INSTR_BYTES
+
+    def procedure_of(self, block: int) -> Procedure:
+        return self.procedures[int(self.block_proc[block])]
+
+    def entry_blocks(self) -> np.ndarray:
+        """Entry block id of every procedure, in procedure order."""
+        return np.fromiter((p.entry for p in self.procedures), dtype=np.int32, count=len(self.procedures))
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``ValueError`` on corruption."""
+        n = self.n_blocks
+        if not (self.block_kind.shape[0] == n and self.block_proc.shape[0] == n):
+            raise ValueError("block table arrays disagree on length")
+        if n and int(self.block_size.min()) < 1:
+            raise ValueError("zero-sized basic block")
+        seen = np.zeros(n, dtype=bool)
+        for proc in self.procedures:
+            ids = np.asarray(proc.blocks)
+            if seen[ids].any():
+                raise ValueError(f"procedure {proc.name!r} shares blocks with another procedure")
+            seen[ids] = True
+            if not (self.block_proc[ids] == proc.pid).all():
+                raise ValueError(f"procedure {proc.name!r} block_proc mismatch")
+        if not seen.all():
+            raise ValueError("orphan blocks outside any procedure")
+        for src, succs in self.static_succ.items():
+            if not 0 <= src < n:
+                raise ValueError(f"static edge from unknown block {src}")
+            for dst in succs:
+                if not 0 <= dst < n:
+                    raise ValueError(f"static edge to unknown block {dst}")
+
+
+class ProgramBuilder:
+    """Incremental builder used by the kernel model and by tests.
+
+    Procedures are added in link order; each call allocates a contiguous
+    range of global block ids and returns ``(pid, base_gid)``.
+    """
+
+    def __init__(self) -> None:
+        self._sizes: list[int] = []
+        self._kinds: list[int] = []
+        self._procs: list[Procedure] = []
+        self._static_succ: dict[int, tuple[int, ...]] = {}
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._sizes)
+
+    def add_procedure(
+        self,
+        name: str,
+        module: str,
+        sizes: Sequence[int],
+        kinds: Sequence[BlockKind | int],
+        *,
+        is_operation: bool = False,
+        cold: bool = False,
+        local_succ: dict[int, Iterable[int]] | None = None,
+    ) -> tuple[int, int]:
+        """Append a procedure; returns ``(pid, base global block id)``.
+
+        ``local_succ`` maps local block index -> local successor indices and
+        is rebased onto global ids.
+        """
+        if len(sizes) != len(kinds):
+            raise ValueError("sizes and kinds must have equal length")
+        if not sizes:
+            raise ValueError(f"procedure {name!r} has no blocks")
+        base = len(self._sizes)
+        pid = len(self._procs)
+        self._sizes.extend(int(s) for s in sizes)
+        self._kinds.extend(int(k) for k in kinds)
+        blocks = tuple(range(base, base + len(sizes)))
+        self._procs.append(
+            Procedure(pid=pid, name=name, module=module, blocks=blocks, is_operation=is_operation, cold=cold)
+        )
+        if local_succ:
+            for src, dsts in local_succ.items():
+                self._static_succ[base + src] = tuple(base + d for d in dsts)
+        return pid, base
+
+    def build(self) -> Program:
+        n = len(self._sizes)
+        proc_ids = np.empty(n, dtype=np.int32)
+        for proc in self._procs:
+            proc_ids[proc.blocks[0] : proc.blocks[-1] + 1] = proc.pid
+        program = Program(
+            block_size=np.asarray(self._sizes, dtype=np.int32),
+            block_kind=np.asarray(self._kinds, dtype=np.int8),
+            block_proc=proc_ids,
+            procedures=tuple(self._procs),
+            static_succ=dict(self._static_succ),
+        )
+        program.validate()
+        return program

@@ -1,0 +1,40 @@
+"""Seed selection (paper Section 5.1).
+
+Seeds are the starting blocks for sequence building. The *auto* selection
+exposes maximum temporal locality (most popular function entries first);
+the *ops* selection starts only from the Executor operations, yielding
+longer sequences that inline the helper functions they call, at the cost of
+including less popular blocks around the hot ones.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.program import Program
+from repro.cfg.weighted import WeightedCFG
+
+__all__ = ["auto_seeds", "ops_seeds"]
+
+
+def auto_seeds(program: Program, cfg: WeightedCFG) -> list[int]:
+    """Entry points of all executed functions, most popular first."""
+    entries = [(int(cfg.block_count[p.entry]), p.entry) for p in program.procedures]
+    entries = [(count, entry) for count, entry in entries if count > 0]
+    entries.sort(key=lambda item: (-item[0], item[1]))
+    return [entry for _count, entry in entries]
+
+
+def ops_seeds(program: Program, cfg: WeightedCFG) -> list[int]:
+    """Entry points of the Executor operations, most popular first.
+
+    This is the knowledge-based selection: minidb marks the executor
+    operation entry points (Sequential Scan, Index Scan, the joins, Sort,
+    Aggregate, Group — the operations Section 2.1 lists) with ``op=True``.
+    """
+    entries = [
+        (int(cfg.block_count[p.entry]), p.entry)
+        for p in program.procedures
+        if p.is_operation
+    ]
+    entries = [(count, entry) for count, entry in entries if count > 0]
+    entries.sort(key=lambda item: (-item[0], item[1]))
+    return [entry for _count, entry in entries]

@@ -1,0 +1,15 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes ``compute(workload, ...) -> rows`` returning the
+table's data, ``render(rows) -> str`` producing the paper-shaped ASCII
+table, and a ``main()`` CLI entry point (``python -m
+repro.experiments.table3 --scale 0.005``). The benchmark suite under
+``benchmarks/`` drives the same ``compute`` functions at a reduced scale.
+
+See DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.experiments.harness import get_workload, layouts_for, WorkloadSettings
+
+__all__ = ["get_workload", "layouts_for", "WorkloadSettings"]

@@ -1,0 +1,89 @@
+"""Shared experiment configuration: the paper's evaluation grid."""
+
+from __future__ import annotations
+
+KB = 1024
+
+#: Table 3 / Table 4 (cache KB, CFA KB) grid, in the paper's row order.
+CACHE_CFA_GRID: tuple[tuple[int, int], ...] = (
+    (8, 2),
+    (8, 4),
+    (8, 6),
+    (16, 4),
+    (16, 8),
+    (16, 12),
+    (32, 4),
+    (32, 8),
+    (32, 16),
+    (32, 24),
+    (64, 8),
+    (64, 16),
+    (64, 24),
+)
+
+#: The grid rows on which the paper reports orig/P&H/2-way/victim numbers
+#: (the first row of each cache size).
+PRIMARY_ROWS: tuple[tuple[int, int], ...] = ((8, 2), (16, 4), (32, 4), (64, 8))
+
+#: Layout columns of Tables 3 and 4, in order.
+LAYOUT_COLUMNS: tuple[str, ...] = ("orig", "P&H", "Torr", "auto", "ops")
+
+#: Paper values for side-by-side reporting (miss rate %, Table 3).
+PAPER_TABLE3 = {
+    (8, 2): {"orig": 6.5, "P&H": 3.0, "Torr": 2.3, "auto": 2.2, "ops": 2.1, "2-way": 6.1, "victim": 5.6},
+    (8, 4): {"Torr": 2.9, "auto": 4.2, "ops": 2.9},
+    (8, 6): {"Torr": 3.1, "auto": 2.3, "ops": 5.2},
+    (16, 4): {"orig": 4.0, "P&H": 1.1, "Torr": 0.9, "auto": 0.8, "ops": 0.7, "2-way": 2.6, "victim": 3.4},
+    (16, 8): {"Torr": 0.7, "auto": 0.8, "ops": 0.6},
+    (16, 12): {"Torr": 0.8, "auto": 0.8, "ops": 1.0},
+    (32, 4): {"orig": 2.7, "P&H": 0.3, "Torr": 0.2, "auto": 0.3, "ops": 0.2, "2-way": 1.2, "victim": 1.6},
+    (32, 8): {"Torr": 0.2, "auto": 0.4, "ops": 0.2},
+    (32, 16): {"Torr": 0.3, "auto": 0.2, "ops": 0.1},
+    (32, 24): {"Torr": 0.2, "auto": 0.3, "ops": 0.2},
+    (64, 8): {"orig": 1.4, "P&H": 0.09, "Torr": 0.05, "auto": 0.07, "ops": 0.04, "2-way": 0.3, "victim": 0.4},
+    (64, 16): {"Torr": 0.14, "auto": 0.08, "ops": 0.05},
+    (64, 24): {"Torr": 0.02, "auto": 0.03, "ops": 0.03},
+}
+
+#: Paper values for Table 4 (fetch bandwidth, IPC).
+PAPER_TABLE4 = {
+    "Ideal": {"orig": 7.6, "P&H": 9.6, "Torr": 9.9, "auto": 9.9, "ops": 10.7, "TC": 10.3, "TC+ops": 12.2},
+    (8, 2): {"orig": 3.1, "P&H": 5.2, "Torr": 5.6, "auto": 6.0, "ops": 6.2, "TC": 5.1, "TC+ops": 8.4},
+    (8, 4): {"Torr": 5.0, "auto": 5.3, "ops": 6.6, "TC+ops": 8.7},
+    (8, 6): {"Torr": 4.9, "auto": 5.8, "ops": 5.6, "TC+ops": 8.1},
+    (16, 4): {"orig": 4.0, "P&H": 7.3, "Torr": 7.4, "auto": 8.1, "ops": 8.8, "TC": 6.2, "TC+ops": 10.3},
+    (16, 8): {"Torr": 7.4, "auto": 8.1, "ops": 9.0, "TC+ops": 10.4},
+    (16, 12): {"Torr": 7.3, "auto": 7.9, "ops": 8.1, "TC+ops": 10.2},
+    (32, 4): {"orig": 4.7, "P&H": 8.8, "Torr": 8.9, "auto": 9.2, "ops": 10.0, "TC": 7.2, "TC+ops": 11.5},
+    (32, 8): {"Torr": 8.4, "auto": 8.8, "ops": 10.1, "TC+ops": 11.5},
+    (32, 16): {"Torr": 8.0, "auto": 9.3, "ops": 10.3, "TC+ops": 11.8},
+    (32, 24): {"Torr": 8.2, "auto": 9.2, "ops": 10.1, "TC+ops": 11.6},
+    (64, 8): {"orig": 5.8, "P&H": 9.3, "Torr": 8.8, "auto": 9.8, "ops": 10.6, "TC": 8.6, "TC+ops": 12.0},
+    (64, 16): {"Torr": 8.4, "auto": 9.7, "ops": 10.5, "TC+ops": 12.1},
+    (64, 24): {"Torr": 8.5, "auto": 9.8, "ops": 10.6, "TC+ops": 12.1},
+}
+
+#: Paper Table 1 (static vs executed).
+PAPER_TABLE1 = {
+    "procedures": (6813, 1340, 19.7),
+    "basic blocks": (127426, 15415, 12.1),
+    "instructions": (593884, 75183, 12.7),
+}
+
+#: Paper Table 2 (percent; static, dynamic, predictable).
+PAPER_TABLE2 = {
+    "Fall-through": (24.4, 22.4, 100.0),
+    "Branch": (42.4, 50.2, 59.0),
+    "Subroutine call": (8.0, 13.7, 100.0),
+    "Subroutine return": (25.2, 13.7, 100.0),
+}
+
+#: Section 8 headline numbers.
+PAPER_HEADLINE = {
+    "instructions between taken branches (orig)": 8.9,
+    "instructions between taken branches (ops)": 22.4,
+    "fetch bandwidth 64KB orig": 5.8,
+    "fetch bandwidth 64KB ops": 10.6,
+    "trace cache alone": 8.6,
+    "trace cache + ops": 12.1,
+}

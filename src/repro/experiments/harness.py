@@ -1,0 +1,85 @@
+"""Shared experiment plumbing: cached workloads, layout builders, CLI."""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+from repro.baselines import original_layout, pettis_hansen_layout, torrellas_layout
+from repro.cfg.layout import Layout
+from repro.cfg.weighted import WeightedCFG
+from repro.core import CacheGeometry, STCParams, stc_layout
+from repro.experiments.config import KB
+from repro.profiling import profile_trace
+from repro.tpcd.workload import Workload
+
+__all__ = ["WorkloadSettings", "get_workload", "training_profile", "layouts_for", "standard_parser"]
+
+
+@dataclass(frozen=True)
+class WorkloadSettings:
+    """Reproducible workload identity (the cache key)."""
+
+    scale: float = 0.005
+    seed: int = 7
+    kernel_seed: int = 2029
+
+    def build(self) -> Workload:
+        return Workload.build(self.scale, seed=self.seed, kernel_seed=self.kernel_seed)
+
+
+_WORKLOADS: dict[WorkloadSettings, Workload] = {}
+_PROFILES: dict[int, WeightedCFG] = {}
+
+
+def get_workload(settings: WorkloadSettings = WorkloadSettings()) -> Workload:
+    """Build (once per process) and cache the workload for these settings."""
+    if settings not in _WORKLOADS:
+        _WORKLOADS[settings] = settings.build()
+    return _WORKLOADS[settings]
+
+
+def training_profile(workload: Workload) -> WeightedCFG:
+    """The weighted CFG profiled from the Training set (cached)."""
+    key = id(workload)
+    if key not in _PROFILES:
+        _PROFILES[key] = profile_trace(workload.training_trace, workload.program.n_blocks)
+    return _PROFILES[key]
+
+
+def layouts_for(
+    workload: Workload,
+    cache_kb: int,
+    cfa_kb: int,
+    *,
+    names: tuple[str, ...] = ("orig", "P&H", "Torr", "auto", "ops"),
+) -> dict[str, Layout]:
+    """Build the evaluation layouts for one cache/CFA geometry.
+
+    ``orig`` and ``P&H`` ignore the geometry (the paper notes P&H does not
+    consider the target cache); ``Torr``/``auto``/``ops`` are geometry-
+    dependent.
+    """
+    program = workload.program
+    cfg = training_profile(workload)
+    geometry = CacheGeometry(cache_bytes=cache_kb * KB, cfa_bytes=cfa_kb * KB)
+    builders = {
+        "orig": lambda: original_layout(program),
+        "P&H": lambda: pettis_hansen_layout(program, cfg),
+        "Torr": lambda: torrellas_layout(program, cfg, geometry),
+        "auto": lambda: stc_layout(program, cfg, geometry, STCParams(seed_mode="auto")),
+        "ops": lambda: stc_layout(program, cfg, geometry, STCParams(seed_mode="ops")),
+    }
+    return {name: builders[name]() for name in names}
+
+
+def standard_parser(description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--scale", type=float, default=0.005, help="TPC-D scale factor (default 0.005)")
+    parser.add_argument("--seed", type=int, default=7, help="data generator seed")
+    parser.add_argument("--kernel-seed", type=int, default=2029, help="kernel model seed")
+    return parser
+
+
+def settings_from_args(args) -> WorkloadSettings:
+    return WorkloadSettings(scale=args.scale, seed=args.seed, kernel_seed=args.kernel_seed)

@@ -1,0 +1,85 @@
+"""OLTP extension study (paper Section 8 future work).
+
+Question: does a layout trained on the DSS profile still help when the
+same binary executes an OLTP transaction mix? Three layouts are evaluated
+on the OLTP trace:
+
+* ``orig`` — original code layout;
+* ``dss-trained`` — STC layout built from the DSS Training-set profile;
+* ``oltp-trained`` — STC layout built from (a disjoint prefix of) the OLTP
+  execution itself, as the self-trained upper reference.
+
+Run: ``python -m repro.experiments.oltp``
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines import original_layout
+from repro.core import CacheGeometry, STCParams, stc_layout
+from repro.experiments.config import KB
+from repro.oltp.workload import OLTPWorkload
+from repro.profiling import profile_trace
+from repro.simulators import CacheConfig, count_misses, simulate_fetch
+from repro.simulators.fetch import MISS_PENALTY_CYCLES
+from repro.util.fmt import format_table
+
+__all__ = ["compute", "render", "main"]
+
+
+def compute(
+    workload: OLTPWorkload,
+    cache_kb: int = 32,
+    cfa_kb: int = 8,
+) -> list[list]:
+    program = workload.program
+    geometry = CacheGeometry(cache_bytes=cache_kb * KB, cfa_bytes=cfa_kb * KB)
+
+    dss_profile = profile_trace(workload.dss_training_trace, program.n_blocks)
+    oltp_profile = profile_trace(workload.oltp_trace, program.n_blocks)
+
+    layouts = {
+        "orig": original_layout(program),
+        "dss-trained": stc_layout(program, dss_profile, geometry, STCParams(seed_mode="auto")),
+        "oltp-trained": stc_layout(program, oltp_profile, geometry, STCParams(seed_mode="auto")),
+    }
+    rows = []
+    for name, layout in layouts.items():
+        fr = simulate_fetch(workload.oltp_trace, program, layout)
+        misses = count_misses(fr.line_chunks, CacheConfig(size_bytes=cache_kb * KB))
+        rows.append(
+            [
+                name,
+                100.0 * misses / fr.n_instructions,
+                fr.n_instructions / (fr.n_fetches + MISS_PENALTY_CYCLES * misses),
+                fr.instructions_between_taken,
+            ]
+        )
+    return rows
+
+
+def render(rows: list[list]) -> str:
+    return format_table(
+        ["layout", "miss %", "IPC", "instr/taken"],
+        rows,
+        title="OLTP extension: layouts evaluated on the OLTP transaction mix (32KB/8KB CFA)",
+    )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dss-scale", type=float, default=0.002)
+    parser.add_argument("--warehouses", type=int, default=2)
+    parser.add_argument("--transactions", type=int, default=400)
+    args = parser.parse_args(argv)
+    workload = OLTPWorkload.build(
+        dss_scale=args.dss_scale,
+        warehouses=args.warehouses,
+        n_transactions=args.transactions,
+    )
+    print(render(compute(workload)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,148 @@
+"""The Table 3 / Table 4 evaluation suite.
+
+One pass over (layout x geometry) computes everything both tables need:
+fetch simulation per layout, vectorized miss counting per cache
+configuration, trace-cache simulations for the TC columns. Results are
+scalars, cached per workload so Table 3, Table 4 and the headline module
+share the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.config import CACHE_CFA_GRID, KB, PRIMARY_ROWS
+from repro.experiments.harness import layouts_for
+from repro.simulators import (
+    CacheConfig,
+    count_misses,
+    simulate_fetch,
+    simulate_trace_cache,
+)
+from repro.simulators.fetch import MISS_PENALTY_CYCLES
+from repro.tpcd.workload import Workload
+
+__all__ = ["CellMetrics", "SuiteResults", "compute_suite", "get_suite"]
+
+
+@dataclass
+class CellMetrics:
+    """One (geometry, layout) cell shared by Tables 3 and 4."""
+
+    miss_rate: float  # misses per instruction, percent
+    ipc: float  # fetch bandwidth with the 5-cycle miss penalty
+    ideal_ipc: float
+    run_length: float  # instructions between taken branches
+
+
+@dataclass
+class SuiteResults:
+    n_instructions: int = 0
+    #: (cache KB, CFA KB) -> layout name -> metrics
+    cells: dict[tuple[int, int], dict[str, CellMetrics]] = field(default_factory=dict)
+    #: cache KB -> miss rate % for the 2-way and victim variants (orig layout)
+    assoc_miss: dict[int, float] = field(default_factory=dict)
+    victim_miss: dict[int, float] = field(default_factory=dict)
+    #: cache KB -> IPC for the 16 KB trace cache over the orig layout
+    tc_ipc: dict[int, float] = field(default_factory=dict)
+    tc_ideal: float = 0.0
+    tc_hit_rate: float = 0.0
+    #: (cache KB, CFA KB) -> IPC for trace cache + ops layout
+    tc_ops_ipc: dict[tuple[int, int], float] = field(default_factory=dict)
+    tc_ops_ideal: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def ideal_range(self, layout: str) -> tuple[float, float]:
+        values = [m[layout].ideal_ipc for m in self.cells.values() if layout in m]
+        return (min(values), max(values)) if values else (0.0, 0.0)
+
+    def run_length_of(self, layout: str, row: tuple[int, int] = (64, 16)) -> float:
+        return self.cells[row][layout].run_length
+
+
+def _metrics(fetch_result, cache_kb: int) -> CellMetrics:
+    misses = count_misses(fetch_result.line_chunks, CacheConfig(size_bytes=cache_kb * KB))
+    n = fetch_result.n_instructions
+    cycles = fetch_result.n_fetches + MISS_PENALTY_CYCLES * misses
+    return CellMetrics(
+        miss_rate=100.0 * misses / n if n else 0.0,
+        ipc=n / cycles if cycles else 0.0,
+        ideal_ipc=fetch_result.ideal_ipc,
+        run_length=fetch_result.instructions_between_taken,
+    )
+
+
+def compute_suite(
+    workload: Workload,
+    grid: tuple[tuple[int, int], ...] = CACHE_CFA_GRID,
+    *,
+    tc_rows: tuple[tuple[int, int], ...] | None = None,
+    progress: bool = False,
+) -> SuiteResults:
+    """Evaluate all layouts over the grid on the Test-set trace."""
+    program = workload.program
+    trace = workload.test_trace
+    tc_rows = grid if tc_rows is None else tc_rows
+    cache_sizes = sorted({c for c, _ in grid})
+    res = SuiteResults()
+
+    def log(msg: str) -> None:
+        if progress:
+            print(f"  [suite] {msg}", flush=True)
+
+    # geometry-independent layouts: one fetch simulation each
+    base = layouts_for(workload, grid[0][0], grid[0][1], names=("orig", "P&H"))
+    for name in ("orig", "P&H"):
+        log(f"fetch simulation: {name}")
+        fr = simulate_fetch(trace, program, base[name])
+        res.n_instructions = fr.n_instructions
+        per_cache = {c: _metrics(fr, c) for c in cache_sizes}
+        for row in grid:
+            res.cells.setdefault(row, {})[name] = per_cache[row[0]]
+        if name == "orig":
+            for c in cache_sizes:
+                n = fr.n_instructions
+                assoc = count_misses(fr.line_chunks, CacheConfig(size_bytes=c * KB, associativity=2))
+                victim = count_misses(
+                    fr.line_chunks, CacheConfig(size_bytes=c * KB, victim_lines=16)
+                )
+                res.assoc_miss[c] = 100.0 * assoc / n
+                res.victim_miss[c] = 100.0 * victim / n
+            log("trace cache: orig layout")
+            tc = simulate_trace_cache(trace, program, base["orig"])
+            res.tc_ideal = tc.bandwidth(None)
+            res.tc_hit_rate = tc.hit_rate
+            for c in cache_sizes:
+                res.tc_ipc[c] = tc.bandwidth(CacheConfig(size_bytes=c * KB))
+
+    # geometry-dependent layouts
+    for row in grid:
+        cache_kb, cfa_kb = row
+        layouts = layouts_for(workload, cache_kb, cfa_kb, names=("Torr", "auto", "ops"))
+        for name in ("Torr", "auto", "ops"):
+            log(f"fetch simulation: {name} {cache_kb}/{cfa_kb}")
+            fr = simulate_fetch(trace, program, layouts[name])
+            res.cells.setdefault(row, {})[name] = _metrics(fr, cache_kb)
+            del fr
+        if row in tc_rows:
+            log(f"trace cache: ops layout {cache_kb}/{cfa_kb}")
+            tc = simulate_trace_cache(trace, program, layouts["ops"])
+            res.tc_ops_ipc[row] = tc.bandwidth(CacheConfig(size_bytes=cache_kb * KB))
+            res.tc_ops_ideal[row] = tc.bandwidth(None)
+    return res
+
+
+_SUITES: dict[tuple[int, tuple], SuiteResults] = {}
+
+
+def get_suite(
+    workload: Workload,
+    grid: tuple[tuple[int, int], ...] = CACHE_CFA_GRID,
+    *,
+    tc_rows: tuple[tuple[int, int], ...] | None = None,
+    progress: bool = False,
+) -> SuiteResults:
+    """Cached :func:`compute_suite` (keyed by workload identity and grid)."""
+    key = (id(workload), grid, tc_rows)
+    if key not in _SUITES:
+        _SUITES[key] = compute_suite(workload, grid, tc_rows=tc_rows, progress=progress)
+    return _SUITES[key]

@@ -1,0 +1,58 @@
+"""Table 1 — static program elements vs. the fraction actually executed.
+
+Run: ``python -m repro.experiments.table1 [--scale 0.005]``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import PAPER_TABLE1
+from repro.experiments.harness import (
+    WorkloadSettings,
+    get_workload,
+    settings_from_args,
+    standard_parser,
+    training_profile,
+)
+from repro.tpcd.workload import Workload
+from repro.util.fmt import format_table
+
+__all__ = ["compute", "render", "main"]
+
+
+def compute(workload: Workload) -> dict[str, tuple[int, int, float]]:
+    """``element -> (total, executed, percent executed)`` from the Training set."""
+    program = workload.program
+    cfg = training_profile(workload)
+    executed_blocks = cfg.executed_blocks()
+    executed_procs = np.unique(program.block_proc[executed_blocks])
+    executed_instr = int(program.block_size[executed_blocks].sum())
+    rows = {
+        "procedures": (program.n_procedures, int(executed_procs.size)),
+        "basic blocks": (program.n_blocks, int(executed_blocks.size)),
+        "instructions": (program.n_instructions, executed_instr),
+    }
+    return {k: (t, e, 100.0 * e / t) for k, (t, e) in rows.items()}
+
+
+def render(rows: dict[str, tuple[int, int, float]]) -> str:
+    table = []
+    for element, (total, executed, pct) in rows.items():
+        p_total, p_exec, p_pct = PAPER_TABLE1[element]
+        table.append([element, total, executed, pct, f"{p_pct}%"])
+    return format_table(
+        ["element", "total", "executed", "executed %", "paper %"],
+        table,
+        title="Table 1: static program elements and the fraction actually used (Training set)",
+    )
+
+
+def main(argv=None) -> None:
+    args = standard_parser(__doc__.splitlines()[0]).parse_args(argv)
+    workload = get_workload(settings_from_args(args))
+    print(render(compute(workload)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Synthetic kernel bodies: the bridge between minidb and the block trace.
+
+The paper instruments a compiled database binary; here every minidb routine
+is registered (via :func:`kernel_routine`) with a deterministic synthetic
+control-flow body. Executing the routine *walks* its body: instrumented
+calls advance the caller's walker to a call-site block, data-dependent
+decisions (:func:`decide`) steer dynamic branch diamonds, and returning
+walks to a return block. The result is a dynamic basic-block trace whose
+inter-procedural structure comes from the real engine and whose
+intra-procedural footprint has realistic DBMS-kernel statistics (block
+sizes, branch mix, determinism).
+
+See DESIGN.md, "Substitutions", for why this preserves the behaviour the
+paper's layout algorithm depends on.
+"""
+
+from repro.kernel.registry import Registry, RoutineSpec, kernel_routine, decide, default_registry
+from repro.kernel.body import BodyModel, Category, generate_body
+from repro.kernel.tracer import KernelTracer, ContractError
+from repro.kernel.model import KernelModel, ColdCodeConfig
+from repro.kernel.inline import InlinePlan, plan_inlining, clone_name
+
+__all__ = [
+    "Registry",
+    "RoutineSpec",
+    "kernel_routine",
+    "decide",
+    "default_registry",
+    "BodyModel",
+    "Category",
+    "generate_body",
+    "KernelTracer",
+    "ContractError",
+    "KernelModel",
+    "ColdCodeConfig",
+    "InlinePlan",
+    "plan_inlining",
+    "clone_name",
+]

@@ -1,0 +1,359 @@
+"""Synthetic intra-procedural control flow ("body models").
+
+A body model is a small CFG generated deterministically from a routine's
+:class:`~repro.kernel.registry.RoutineSpec` and the root seed. Its shape
+mirrors how DBMS kernel C routines compile:
+
+* a *prologue* chain (register saves, setup), possibly with a rarely-taken
+  guard branch whose other side is a cold error path;
+* a *ring* of loop segments — each with a loop junction (continue/exit),
+  optional data-dependent branch diamonds, and (for calling routines) a
+  guarded call site plus the return-target block;
+* an *epilogue* ending in one or two return blocks;
+* *cold* error chains hanging off the never-taken sides of fixed branches —
+  present in the static image, never executed.
+
+Block categories drive the runtime walker (:mod:`repro.kernel.tracer`): the
+walker picks an edge per category depending on what the Python code actually
+does next (call again, decide, or return), so trip counts and branch
+outcomes in the trace are the engine's real data-dependent behaviour.
+
+Local block ids are in generation order, which doubles as the "source
+order" used by the original code layout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cfg.blocks import BlockKind
+from repro.kernel.registry import RoutineSpec
+
+__all__ = ["Category", "BodyModel", "generate_body"]
+
+
+class Category(enum.IntEnum):
+    """Walker-relevant role of a block (independent of its BlockKind)."""
+
+    PLAIN = 0  #: straight-line code
+    FIXED = 1  #: branch whose alternative side is a cold path
+    DYN = 2  #: data-dependent branch diamond, steered by decide()
+    JUNCTION = 3  #: loop junction: continue ring (hot) or exit to epilogue (alt)
+    GUARD = 4  #: call guard: take the call site (hot) or skip ahead (alt)
+    CALL = 5  #: call-site block (ends in a subroutine call)
+    RETTGT = 6  #: block where control lands after a callee returns
+    RETURN = 7  #: return block
+    COLD = 8  #: never-executed error-path block
+    SPREAD = 9  #: multiway switch dispatch; case picked per invocation
+
+#: Geometric size parameter per category: (p, cap). Mean block size is
+#: roughly 1/p, matching the paper's ~4.7 instructions per block overall
+#: (593 884 instructions / 127 426 blocks).
+_SIZE_PARAMS: dict[Category, tuple[float, int]] = {
+    Category.PLAIN: (0.20, 24),
+    Category.FIXED: (0.35, 12),
+    Category.DYN: (0.35, 12),
+    Category.JUNCTION: (0.45, 8),
+    Category.GUARD: (0.45, 8),
+    Category.CALL: (0.40, 8),
+    Category.RETTGT: (0.30, 16),
+    Category.RETURN: (0.35, 8),
+    Category.COLD: (0.25, 24),
+    Category.SPREAD: (0.40, 8),
+}
+
+
+@dataclass
+class BodyModel:
+    """Compiled body of one routine (see module docstring)."""
+
+    name: str
+    cat: list[int] = field(default_factory=list)
+    hot: list[int] = field(default_factory=list)
+    alt: list[int] = field(default_factory=list)
+    size: list[int] = field(default_factory=list)
+    kind: list[int] = field(default_factory=list)
+    #: SPREAD block -> its case-entry blocks (hot duplicates entry 0)
+    fanout: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.cat)
+
+    @property
+    def entry(self) -> int:
+        return 0
+
+    def n_of(self, category: Category) -> int:
+        return sum(1 for c in self.cat if c == category)
+
+    def local_succ(self) -> dict[int, tuple[int, ...]]:
+        """Static intra-procedural successor edges (hot/alt/fanout sides)."""
+        succ: dict[int, tuple[int, ...]] = {}
+        for b in range(self.n_blocks):
+            edges = list(self.fanout.get(b, ()))
+            edges.extend(e for e in (self.hot[b], self.alt[b]) if e >= 0)
+            if edges:
+                succ[b] = tuple(dict.fromkeys(edges))
+        return succ
+
+    def validate(self, spec: RoutineSpec) -> None:
+        n = self.n_blocks
+        if n == 0:
+            raise ValueError(f"{self.name}: empty body")
+        for b in range(n):
+            cat = Category(self.cat[b])
+            hot, alt = self.hot[b], self.alt[b]
+            for e in (hot, alt):
+                if e != -1 and not 0 <= e < n:
+                    raise ValueError(f"{self.name}: block {b} edge out of range")
+            if cat == Category.RETURN:
+                if hot != -1:
+                    raise ValueError(f"{self.name}: return block {b} has successor")
+            elif hot == -1:
+                raise ValueError(f"{self.name}: non-return block {b} lacks hot edge")
+            if cat in (Category.DYN, Category.JUNCTION, Category.GUARD) and alt == -1:
+                raise ValueError(f"{self.name}: {cat.name} block {b} lacks alt edge")
+            if cat == Category.SPREAD:
+                cases = self.fanout.get(b, ())
+                if len(cases) < 2:
+                    raise ValueError(f"{self.name}: SPREAD block {b} has < 2 cases")
+                if self.hot[b] != cases[0]:
+                    raise ValueError(f"{self.name}: SPREAD block {b} hot edge is not case 0")
+            if self.size[b] < 1:
+                raise ValueError(f"{self.name}: block {b} has zero size")
+        if spec.sites > 0 and self.n_of(Category.CALL) == 0:
+            raise ValueError(f"{self.name}: spec declares call sites but body has none")
+        if spec.decides > 0 and self.n_of(Category.DYN) == 0:
+            raise ValueError(f"{self.name}: spec declares decides but body has no DYN block")
+        if self.n_of(Category.RETURN) == 0:
+            raise ValueError(f"{self.name}: no return block")
+
+
+class _Builder:
+    """Appends blocks and patches forward links to the next construct."""
+
+    def __init__(self, name: str, rng: np.random.Generator) -> None:
+        self.body = BodyModel(name=name)
+        self.rng = rng
+        self._pending: list[int] = []  # blocks whose hot edge awaits the next block
+
+    def new_block(self, cat: Category, *, link: bool = True) -> int:
+        b = self.body.n_blocks
+        p, cap = _SIZE_PARAMS[cat]
+        size = min(int(self.rng.geometric(p)), cap)
+        self.body.cat.append(int(cat))
+        self.body.hot.append(-1)
+        self.body.alt.append(-1)
+        self.body.size.append(size)
+        self.body.kind.append(-1)  # filled in finalize()
+        if link:
+            for src in self._pending:
+                self.body.hot[src] = b
+            self._pending.clear()
+            self._pending.append(b)
+        return b
+
+    def take_pending(self) -> list[int]:
+        pending, self._pending = self._pending, []
+        return pending
+
+    def switch(self, n_cases: int, case_len: int) -> int:
+        """Multiway dispatch: a SPREAD block fanning out to ``n_cases``
+        parallel case chains of ``case_len`` blocks, rejoining after.
+
+        Models the type/node/opcode dispatch switches DBMS kernels are full
+        of: each invocation walks one short case, while the accumulated
+        footprint covers all cases.
+        """
+        spread = self.new_block(Category.SPREAD)
+        self._pending.clear()
+        case_entries: list[int] = []
+        tails: list[int] = []
+        for _ in range(n_cases):
+            first = self.new_block(Category.PLAIN, link=False)
+            prev = first
+            for _ in range(case_len - 1):
+                nxt = self.new_block(Category.PLAIN, link=False)
+                self.body.hot[prev] = nxt
+                prev = nxt
+            case_entries.append(first)
+            tails.append(prev)
+        self.body.fanout[spread] = tuple(case_entries)
+        self.body.hot[spread] = case_entries[0]
+        self._pending = tails
+        return spread
+
+    def diamond(self, cat: Category) -> int:
+        """Branch block + hot-side block (+ alt-side block) rejoining after.
+
+        For FIXED diamonds the alt side is a cold chain ending in a cold
+        return (an error path); for DYN diamonds the alt side is a live
+        block that the walker emits when decide(False) steers there.
+        """
+        branch = self.new_block(cat)
+        self._pending.clear()
+        hot_side = self.new_block(Category.PLAIN, link=False)
+        self.body.hot[branch] = hot_side
+        if cat == Category.DYN:
+            alt_side = self.new_block(Category.PLAIN, link=False)
+            self.body.alt[branch] = alt_side
+            self._pending = [hot_side, alt_side]
+        else:
+            cold = self.new_block(Category.COLD, link=False)
+            self.body.alt[branch] = cold
+            # error chain: 0-1 extra cold blocks, then a cold return
+            if self.rng.random() < 0.5:
+                nxt = self.new_block(Category.COLD, link=False)
+                self.body.hot[cold] = nxt
+                cold = nxt
+            cold_ret = self.new_block(Category.RETURN, link=False)
+            self.body.hot[cold] = cold_ret
+            self._pending = [hot_side]
+        return branch
+
+    def finalize(self) -> BodyModel:
+        if self._pending:
+            raise AssertionError(f"{self.body.name}: dangling links at finalize")
+        body = self.body
+        for b in range(body.n_blocks):
+            cat = Category(body.cat[b])
+            if cat == Category.CALL:
+                kind = BlockKind.CALL
+            elif cat == Category.RETURN:
+                kind = BlockKind.RETURN
+            elif cat in (Category.FIXED, Category.DYN, Category.JUNCTION, Category.GUARD, Category.SPREAD):
+                kind = BlockKind.BRANCH
+            elif body.hot[b] == b + 1:
+                kind = BlockKind.FALL_THROUGH
+            else:
+                # straight-line code ending in an unconditional jump
+                kind = BlockKind.BRANCH
+            body.kind[b] = int(kind)
+        return body
+
+
+def generate_body(spec: RoutineSpec, rng: np.random.Generator, *, richness: float = 1.0) -> BodyModel:
+    """Generate the deterministic body model for one routine spec.
+
+    ``richness`` scales the amount of straight-line and error-path code
+    around the semantic skeleton (call ring, decide diamonds). The kernel
+    model uses it to give minidb routines C-function-sized bodies so that
+    the executed footprint reaches the paper's footprint-to-cache ratios
+    (see DESIGN.md, "Scale").
+    """
+    if richness <= 0:
+        raise ValueError("richness must be positive")
+    b = _Builder(spec.name, rng)
+
+    def filler(scale: float) -> None:
+        """Code between the semantic skeleton points: a mix of straight-line
+        blocks, fixed (error-check) diamonds whose cold sides build the
+        never-executed part of the image, and switch dispatches whose cases
+        spread successive invocations over parallel short paths.
+
+        ``richness`` sets the static block budget; the walked-path length
+        per invocation grows only logarithmically with it (one case per
+        switch), which is what keeps per-invocation traces short while the
+        accumulated footprint is large — the combination the paper observes.
+        """
+        budget = scale * richness * 6.0 * float(rng.uniform(0.7, 1.3))
+        while budget > 0:
+            r = rng.random()
+            if r < 0.35:
+                # deep-not-wide dispatch keeps the per-invocation path short
+                n_cases = 6 + int(rng.integers(0, 19))
+                case_len = 1 + int(rng.integers(0, 3))
+                b.switch(n_cases, case_len)
+                budget -= 1 + n_cases * case_len
+            elif r < 0.65:
+                b.diamond(Category.FIXED)
+                budget -= 4.5
+            else:
+                b.new_block(Category.PLAIN)
+                budget -= 1.0
+
+    # Prologue: setup code behind the entry block.
+    b.new_block(Category.PLAIN)
+    filler(1.0)
+
+    n_sites = spec.sites
+    n_seg = n_sites if n_sites > 0 else (1 if spec.decides > 0 else 0)
+    junction_exits: list[int] = []  # JUNCTION blocks; alt -> epilogue
+
+    if n_seg:
+        # Diamonds per segment: every segment gets its share of the declared
+        # decide diamonds (at least the ring as a whole gets max(decides, 0)).
+        per_seg = [spec.decides // n_seg] * n_seg
+        for i in range(spec.decides % n_seg):
+            per_seg[i] += 1
+        junctions: list[int] = []
+        ring_tail_patches: list[tuple[list[int], int]] = []  # (blocks, next segment index)
+        for s in range(n_seg):
+            junction = b.new_block(Category.JUNCTION)
+            junctions.append(junction)
+            junction_exits.append(junction)
+            for _ in range(per_seg[s]):
+                b.diamond(Category.DYN)
+                # processing code after each data check
+                if rng.random() < 0.5:
+                    b.new_block(Category.PLAIN)
+            filler(0.8 / max(1, n_seg))
+            if n_sites > 0:
+                guard = b.new_block(Category.GUARD)
+                b.take_pending()
+                call = b.new_block(Category.CALL, link=False)
+                b.body.hot[guard] = call
+                rettgt = b.new_block(Category.RETTGT, link=False)
+                b.body.hot[call] = rettgt
+                # guard skip-side and return-target both continue at the
+                # next junction (wrapping to the ring head on the last one).
+                ring_tail_patches.append(([guard], s + 1))  # guard.alt patched below
+                ring_tail_patches.append(([rettgt], s + 1))
+            else:
+                # leaf loop: segment tail loops back to the junction ring
+                ring_tail_patches.append((b.take_pending(), s + 1))
+        for blocks, nxt in ring_tail_patches:
+            target = junctions[nxt % n_seg]
+            for src in blocks:
+                if Category(b.body.cat[src]) == Category.GUARD:
+                    b.body.alt[src] = target
+                else:
+                    b.body.hot[src] = target
+
+    # Epilogue: junction exits (and, with no ring, the prologue tail) land here.
+    tail = b.take_pending()  # non-empty only when there is no ring
+    epilogue_first = -1
+    prev = -1
+    for _ in range(int(rng.integers(0, 1 + round(0.6 * richness)))):
+        blk = b.new_block(Category.PLAIN, link=False)
+        if prev >= 0:
+            b.body.hot[prev] = blk
+        else:
+            epilogue_first = blk
+        prev = blk
+    if rng.random() < 0.35:
+        # final fixed check picking between two return blocks; the walker
+        # always takes the hot return, so the alt return is effectively cold.
+        node = b.new_block(Category.FIXED, link=False)
+        ret_a = b.new_block(Category.RETURN, link=False)
+        ret_b = b.new_block(Category.RETURN, link=False)
+        b.body.hot[node] = ret_a
+        b.body.alt[node] = ret_b
+    else:
+        node = b.new_block(Category.RETURN, link=False)
+    if prev >= 0:
+        b.body.hot[prev] = node
+    else:
+        epilogue_first = node
+    for src in tail:
+        b.body.hot[src] = epilogue_first
+    for junction in junction_exits:
+        b.body.alt[junction] = epilogue_first
+
+    body = b.finalize()
+    body.validate(spec)
+    return body

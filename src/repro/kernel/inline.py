@@ -1,0 +1,85 @@
+"""Profile-guided function cloning (paper Section 8 future work).
+
+"It is worth studying if the controlled use of code expanding techniques
+like function inlining and code replication can increase the potential
+fetch bandwidth provided by a sequential fetch unit while keeping the miss
+rate under control."
+
+A clone gives one caller a private copy of a callee's code. The layout
+pipeline then places the clone *between* the call site and its return
+target, so both the call and the return become sequential transitions —
+longer fall-through runs and wider fetches — while the duplicated code
+grows the static footprint and can raise the miss rate. The
+:mod:`repro.experiments.inlining` module measures both sides.
+
+The plan is chosen from a profile: callees invoked from several distinct
+callers, where a (caller, callee) pair carries a significant share of all
+calls, get per-caller clones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.program import Program
+from repro.cfg.weighted import WeightedCFG
+
+__all__ = ["InlinePlan", "plan_inlining", "clone_name"]
+
+
+def clone_name(callee: str, caller: str) -> str:
+    """The cloned routine's identity (also its procedure name)."""
+    return f"{callee}@{caller}"
+
+
+@dataclass(frozen=True)
+class InlinePlan:
+    """Clone set: (callee routine name, caller routine name) pairs."""
+
+    pairs: tuple[tuple[str, str], ...]
+
+    @property
+    def n_clones(self) -> int:
+        return len(self.pairs)
+
+    def route_table(self) -> dict[tuple[str, str], str]:
+        """(caller, callee) -> clone routine name, for the tracer."""
+        return {(caller, callee): clone_name(callee, caller) for callee, caller in self.pairs}
+
+
+def plan_inlining(
+    program: Program,
+    cfg: WeightedCFG,
+    *,
+    min_call_fraction: float = 0.01,
+    min_callers: int = 2,
+    max_clones: int = 24,
+) -> InlinePlan:
+    """Pick (callee, caller) pairs worth cloning, hottest first.
+
+    ``min_call_fraction`` is the pair's share of all dynamic calls;
+    ``min_callers`` requires the callee to be shared (cloning a
+    single-caller callee buys nothing the layout cannot already do).
+    """
+    call_graph = cfg.procedure_call_graph(program)
+    total_calls = sum(call_graph.values())
+    if total_calls == 0:
+        return InlinePlan(())
+    callers_of: dict[int, set[int]] = {}
+    for (caller, callee), _count in call_graph.items():
+        callers_of.setdefault(callee, set()).add(caller)
+    candidates = sorted(call_graph.items(), key=lambda kv: (-kv[1], kv[0]))
+    pairs: list[tuple[str, str]] = []
+    for (caller_pid, callee_pid), count in candidates:
+        if len(pairs) >= max_clones:
+            break
+        if count / total_calls < min_call_fraction:
+            break
+        if len(callers_of[callee_pid]) < min_callers:
+            continue
+        caller = program.procedures[caller_pid]
+        callee = program.procedures[callee_pid]
+        if caller.cold or callee.cold:
+            continue
+        pairs.append((callee.name, caller.name))
+    return InlinePlan(tuple(pairs))

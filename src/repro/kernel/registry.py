@@ -1,0 +1,206 @@
+"""Routine registration and the instrumentation entry points.
+
+minidb routines are plain Python functions decorated with
+:func:`kernel_routine`. The decorator records a :class:`RoutineSpec`
+(module, number of call-site segments, number of data-dependent branch
+diamonds) that the body generator turns into a synthetic CFG, and wraps the
+function so that, when a :class:`~repro.kernel.tracer.KernelTracer` is
+active, entering/leaving the routine drives the trace walker. With no
+tracer active the wrapper is a cheap passthrough, so the engine can run
+untraced (e.g. while loading data) at full speed.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import TypeVar
+
+__all__ = ["RoutineSpec", "Registry", "kernel_routine", "decide", "default_registry"]
+
+F = TypeVar("F", bound=Callable)
+
+
+@dataclass(frozen=True)
+class RoutineSpec:
+    """Static description of an instrumented routine.
+
+    ``sites``  — number of call-site segments in the routine's loop ring;
+    must be >= 1 if the routine (or helpers it calls) invokes other
+    instrumented routines.
+    ``decides`` — number of dynamic branch diamonds; must be >= 1 if the
+    routine calls :func:`decide`.
+    ``op``     — True for Executor operation entry points (the paper's
+    knowledge-based *ops* seed selection takes exactly these).
+    """
+
+    name: str
+    module: str
+    sites: int = 1
+    decides: int = 0
+    op: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sites < 0 or self.decides < 0:
+            raise ValueError(f"routine {self.name!r}: sites/decides must be >= 0")
+
+
+class Registry:
+    """An ordered collection of routine specs.
+
+    minidb registers into :func:`default_registry` at import time; tests
+    build private registries so they stay hermetic.
+    """
+
+    def __init__(self) -> None:
+        self._specs: dict[str, RoutineSpec] = {}
+
+    def routine(
+        self,
+        module: str,
+        *,
+        sites: int = 1,
+        decides: int = 0,
+        op: bool = False,
+        name: str | None = None,
+    ) -> Callable[[F], F]:
+        """Decorator registering (and instrumenting) a kernel routine."""
+
+        def wrap(fn: F) -> F:
+            spec = RoutineSpec(name=name or fn.__qualname__, module=module, sites=sites, decides=decides, op=op)
+            self.add(spec)
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                tracer = _ACTIVE
+                if tracer is None:
+                    return fn(*args, **kwargs)
+                tracer._enter(spec)
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    tracer._exit(spec)
+
+            wrapper.__kernel_spec__ = spec  # type: ignore[attr-defined]
+            return wrapper  # type: ignore[return-value]
+
+        return wrap
+
+    def scope(
+        self,
+        name: str,
+        module: str,
+        *,
+        sites: int = 1,
+        decides: int = 0,
+        op: bool = False,
+    ) -> "InstrumentedScope":
+        """Register a routine and return a ``with``-style instrumentation scope.
+
+        This is how minidb models *specialized* kernel routines — e.g. one
+        B-tree descent routine per index, one comparator per key type — the
+        way a compiled DBMS has cloned/inlined variants. The scope object is
+        re-entrant (safe for recursive routines).
+        """
+        spec = RoutineSpec(name=name, module=module, sites=sites, decides=decides, op=op)
+        self.add(spec)
+        return InstrumentedScope(spec)
+
+    def add(self, spec: RoutineSpec) -> None:
+        if spec.name in self._specs:
+            raise ValueError(f"duplicate kernel routine {spec.name!r}")
+        self._specs[spec.name] = spec
+
+    def clone(self) -> "Registry":
+        """A copy sharing no state: used per Database so that dynamically
+        registered per-index routine specializations never collide across
+        instances (the static decorated routines are carried over by name)."""
+        reg = Registry()
+        reg._specs = dict(self._specs)
+        return reg
+
+    def specs(self) -> list[RoutineSpec]:
+        """All specs, sorted by name (the deterministic routine order)."""
+        return sorted(self._specs.values(), key=lambda s: s.name)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+
+class InstrumentedScope:
+    """Context manager marking a dynamic extent as one instrumented routine.
+
+    The active tracer is captured at ``__enter__`` and popped with it at
+    ``__exit__`` (as a stack, so recursion works), which keeps enter/exit
+    balanced even if a tracer is activated or deactivated mid-scope.
+    """
+
+    __slots__ = ("spec", "_tracers")
+
+    def __init__(self, spec: RoutineSpec) -> None:
+        self.spec = spec
+        self._tracers: list = []
+
+    def __enter__(self) -> "InstrumentedScope":
+        tracer = _ACTIVE
+        self._tracers.append(tracer)
+        if tracer is not None:
+            tracer._enter(self.spec)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        tracer = self._tracers.pop()
+        if tracer is not None:
+            tracer._exit(self.spec)
+
+
+_DEFAULT_REGISTRY = Registry()
+
+#: The tracer currently receiving events, or None (module-global so the
+#: per-call fast path is a single load; the engine is single-threaded, as is
+#: each PostgreSQL backend in the paper).
+_ACTIVE = None
+
+
+def default_registry() -> Registry:
+    """The process-wide registry minidb registers into."""
+    return _DEFAULT_REGISTRY
+
+
+def kernel_routine(
+    module: str,
+    *,
+    sites: int = 1,
+    decides: int = 0,
+    op: bool = False,
+    name: str | None = None,
+) -> Callable[[F], F]:
+    """Register a routine in the default registry (see :meth:`Registry.routine`)."""
+    return _DEFAULT_REGISTRY.routine(module, sites=sites, decides=decides, op=op, name=name)
+
+
+def decide(outcome: object) -> bool:
+    """Report a data-dependent branch outcome to the active tracer.
+
+    Returns ``bool(outcome)`` so it can wrap conditions inline::
+
+        if decide(tuple_matches):
+            ...
+
+    With no active tracer this is a cheap no-op passthrough.
+    """
+    outcome = bool(outcome)
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer._decide(outcome)
+    return outcome
+
+
+def _set_active(tracer) -> None:
+    """Install/remove the active tracer (used by KernelTracer.activate)."""
+    global _ACTIVE
+    _ACTIVE = tracer

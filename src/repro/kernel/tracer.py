@@ -1,0 +1,247 @@
+"""Runtime trace walker.
+
+While a :class:`KernelTracer` is active, every instrumented minidb call
+pushes a walker frame that steps through the routine's body model, emitting
+global basic-block ids into the trace buffer. The walker advances in three
+modes, each choosing edges by block category:
+
+* ``to call`` (a child routine was entered): junctions continue the ring,
+  guards take the call side; stops at the CALL block.
+* ``to decision`` (:func:`~repro.kernel.registry.decide` was invoked):
+  guards skip their call site; stops at the first DYN branch and takes the
+  side given by the engine's actual boolean.
+* ``to exit`` (the routine returned): junctions exit to the epilogue,
+  guards skip; stops at a RETURN block.
+
+Fixed branches always take their hot side (their alt side is a cold error
+path), and undecided DYN branches default to the hot side — real data
+decisions are only the ones the engine reports.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+
+from repro.kernel import registry as _registry
+from repro.kernel.body import BodyModel, Category
+from repro.kernel.registry import RoutineSpec
+from repro.profiling.trace import BlockTrace
+
+__all__ = ["KernelTracer", "ContractError"]
+
+_CAT_PLAIN = int(Category.PLAIN)
+_CAT_FIXED = int(Category.FIXED)
+_CAT_DYN = int(Category.DYN)
+_CAT_JUNCTION = int(Category.JUNCTION)
+_CAT_GUARD = int(Category.GUARD)
+_CAT_CALL = int(Category.CALL)
+_CAT_RETTGT = int(Category.RETTGT)
+_CAT_RETURN = int(Category.RETURN)
+_CAT_SPREAD = int(Category.SPREAD)
+
+
+def _case_of(ctx: int, n_cases: int) -> int:
+    """Skewed switch-case selection from the invocation context.
+
+    Real kernel dispatch switches (tuple type, plan-node tag, opcode) are
+    heavily skewed toward a few hot cases; the cubic transform makes case 0
+    take ~45 % of executions while still exercising the tail over time —
+    which is what lets a layout make the hot case fall through (the paper's
+    run-length doubling) while the accumulated footprint stays large.
+    """
+    u = ctx * 4.656612873077393e-10  # / 2**31
+    return int(n_cases * u * u * u)
+
+
+class ContractError(RuntimeError):
+    """An instrumented routine behaved outside its declared spec.
+
+    Raised when e.g. a routine declared ``sites=0`` calls another
+    instrumented routine, or calls ``decide()`` without declaring any
+    dynamic branch diamonds; the error names the offending routine so the
+    annotation can be fixed.
+    """
+
+
+class KernelTracer:
+    """Collects one dynamic basic-block trace from instrumented execution.
+
+    Use as a context manager around the traced region::
+
+        tracer = KernelTracer(model)
+        with tracer:
+            engine.run(plan)
+        trace = tracer.take_trace()
+
+    The tracer is single-threaded (each PostgreSQL backend in the paper is a
+    single process) and must be the only active tracer.
+    """
+
+    def __init__(self, model) -> None:
+        # model is a KernelModel; imported lazily to avoid an import cycle.
+        self._model = model
+        self._routines = model.routine_tables()
+        self._route = getattr(model, "clone_route", {})  # (caller, callee) -> clone
+        self._buf = array("i")
+        # frames: [cat, hot, alt, base, cur, name, fanout, ctx]
+        self._stack: list[list] = []
+        self._runs: list[np.ndarray] = []
+        self._invocations: dict[str, int] = {}
+
+    # -- activation --------------------------------------------------------
+
+    def __enter__(self) -> "KernelTracer":
+        if _registry._ACTIVE is not None:
+            raise RuntimeError("another KernelTracer is already active")
+        _registry._set_active(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _registry._set_active(None)
+        if self._stack:
+            # unwound abnormally (exception through instrumented frames)
+            self._stack.clear()
+
+    def end_run(self) -> None:
+        """Close the current run; the next events start a new trace segment."""
+        if self._stack:
+            raise RuntimeError("end_run() inside an instrumented call")
+        if len(self._buf):
+            self._runs.append(np.frombuffer(self._buf, dtype=np.int32).copy())
+            self._buf = array("i")
+
+    def take_trace(self) -> BlockTrace:
+        """Finish tracing and return the collected (multi-run) trace."""
+        self.end_run()
+        trace = BlockTrace.concatenate([BlockTrace(run) for run in self._runs])
+        self._runs = []
+        return trace
+
+    @property
+    def n_events(self) -> int:
+        return sum(r.shape[0] for r in self._runs) + len(self._buf)
+
+    # -- instrumentation callbacks (hot path) ------------------------------
+
+    def _enter(self, spec: RoutineSpec) -> None:
+        name = spec.name
+        stack = self._stack
+        if stack:
+            # cloned routines: this caller may own a private copy
+            route = self._route
+            if route:
+                clone = route.get((stack[-1][5], name))
+                if clone is not None:
+                    name = clone
+            self._advance_to_call(stack[-1])
+        table = self._routines.get(name)
+        if table is None:
+            raise ContractError(f"routine {name!r} is not part of the kernel model")
+        cat, hot, alt, base, fanout = table
+        # per-invocation dispatch context: successive calls of the same
+        # routine walk different switch cases (deterministic Weyl sequence)
+        count = self._invocations.get(name, 0) + 1
+        self._invocations[name] = count
+        ctx = (count * 2654435761) & 0x7FFFFFFF
+        self._buf.append(base)  # entry block is local 0
+        stack.append([cat, hot, alt, base, 0, name, fanout, ctx])
+
+    def _decide(self, outcome: bool) -> None:
+        stack = self._stack
+        if not stack:
+            return  # data decision outside any instrumented routine: ignore
+        frame = stack[-1]
+        cat, hot, alt, base, cur, name, fanout, ctx = frame
+        buf = self._buf
+        limit = 4 * len(cat) + 8
+        steps = 0
+        # `cur` is the last emitted block: move first, then emit.
+        while True:
+            c = cat[cur]
+            if c == _CAT_RETURN:
+                raise ContractError(f"routine {name!r}: decide() after control reached a return block")
+            if c == _CAT_GUARD:
+                cur = alt[cur]
+            elif c == _CAT_SPREAD:
+                cases = fanout[cur]
+                cur = cases[_case_of(ctx, len(cases))]
+                ctx = (ctx * 1103515245 + 12345) & 0x7FFFFFFF
+            else:
+                cur = hot[cur]
+            buf.append(base + cur)
+            if cat[cur] == _CAT_DYN:
+                cur = hot[cur] if outcome else alt[cur]
+                buf.append(base + cur)
+                frame[4] = cur
+                frame[7] = ctx
+                return
+            steps += 1
+            if steps > limit:
+                raise ContractError(f"routine {name!r}: decide() called but body declares no DYN diamonds")
+
+    def _exit(self, spec: RoutineSpec) -> None:
+        stack = self._stack
+        if not stack:
+            raise ContractError(f"unbalanced exit from {spec.name!r}")
+        frame = stack.pop()
+        cat, hot, alt, base, cur, name, fanout, ctx = frame
+        if name != spec.name and name.split("@", 1)[0] != spec.name:
+            raise ContractError(f"unbalanced exit: leaving {spec.name!r} but top frame is {name!r}")
+        buf = self._buf
+        limit = 4 * len(cat) + 8
+        steps = 0
+        # `cur` is the last emitted block: move first, then emit.
+        while cat[cur] != _CAT_RETURN:
+            c = cat[cur]
+            if c == _CAT_JUNCTION or c == _CAT_GUARD:
+                nxt = alt[cur]
+            elif c == _CAT_SPREAD:
+                cases = fanout[cur]
+                nxt = cases[_case_of(ctx, len(cases))]
+                ctx = (ctx * 1103515245 + 12345) & 0x7FFFFFFF
+            elif c == _CAT_CALL:
+                raise ContractError(f"routine {name!r}: exit while positioned at a call block")
+            else:
+                nxt = hot[cur]
+            cur = nxt
+            buf.append(base + cur)
+            steps += 1
+            if steps > limit:
+                raise ContractError(f"routine {name!r}: no return block reachable on exit path")
+        if stack:
+            # the caller resumes at the return-target block after its call site
+            parent = stack[-1]
+            pcat, phot, pbase, pcur, pname = parent[0], parent[1], parent[3], parent[4], parent[5]
+            if pcat[pcur] != _CAT_CALL:
+                raise ContractError(f"routine {pname!r}: child returned but caller not at a call block")
+            pcur = phot[pcur]
+            buf.append(pbase + pcur)
+            parent[4] = pcur
+
+    def _advance_to_call(self, frame: list) -> None:
+        cat, hot, _alt, base, cur, name, fanout, ctx = frame
+        buf = self._buf
+        limit = 4 * len(cat) + 8
+        steps = 0
+        # `cur` is the last emitted block: move first, then emit. Guards take
+        # their hot side here (the call site); everything else advances hot.
+        while True:
+            c = cat[cur]
+            if c == _CAT_RETURN:
+                raise ContractError(f"routine {name!r}: call made after control reached a return block")
+            if c == _CAT_SPREAD:
+                cases = fanout[cur]
+                cur = cases[_case_of(ctx, len(cases))]
+                ctx = (ctx * 1103515245 + 12345) & 0x7FFFFFFF
+            else:
+                cur = hot[cur]
+            buf.append(base + cur)
+            if cat[cur] == _CAT_CALL:
+                frame[4] = cur
+                frame[7] = ctx
+                return
+            steps += 1
+            if steps > limit:
+                raise ContractError(f"routine {name!r}: calls a child but declares sites=0")

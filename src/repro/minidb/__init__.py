@@ -1,0 +1,17 @@
+"""minidb — a working relational engine standing in for PostgreSQL 6.3.2.
+
+The paper's substrate is a compiled database kernel executing TPC-D queries;
+minidb reproduces its *structure* (Figure 1): a Volcano-style pipelined
+executor on top of access methods (heap scans, B-tree and hash indexes), a
+buffer manager, and a storage manager. Every kernel routine is instrumented
+through :mod:`repro.kernel`, so executing a query plan produces the dynamic
+basic-block trace the paper obtains by binary instrumentation.
+
+Public entry point: :class:`~repro.minidb.engine.Database`.
+"""
+
+from repro.minidb.tuples import Column, Schema, ColumnType
+from repro.minidb.engine import Database
+from repro.minidb.catalog import Table
+
+__all__ = ["Column", "Schema", "ColumnType", "Database", "Table"]

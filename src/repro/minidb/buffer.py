@@ -1,0 +1,59 @@
+"""Buffer manager: an LRU page cache between access methods and storage.
+
+"The Buffer Manager is responsible for managing the blocks stored in memory
+similarly to the way the OS Virtual Memory Manager does" (paper, Section
+2.1). Buffer probes are the hottest data-dependent branch in a DBMS kernel:
+the hit/miss decision steers the instrumented routine's dynamic branch, and
+a miss calls down into the storage manager.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.kernel import decide, kernel_routine
+from repro.minidb.storage import Page, StorageManager
+
+__all__ = ["BufferManager", "DEFAULT_BUFFER_PAGES"]
+
+DEFAULT_BUFFER_PAGES = 256
+
+
+class BufferManager:
+    """Fixed-capacity LRU cache of ``(file id, page number) -> Page``."""
+
+    def __init__(self, storage: StorageManager, capacity: int = DEFAULT_BUFFER_PAGES) -> None:
+        if capacity < 1:
+            raise ValueError("buffer capacity must be >= 1")
+        self.storage = storage
+        self.capacity = capacity
+        self._cache: OrderedDict[tuple[int, int], Page] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @kernel_routine("buffer", sites=1, decides=2, name="ReadBuffer")
+    def get_page(self, fid: int, pageno: int) -> Page:
+        """Return the page, touching LRU state; misses read through storage."""
+        key = (fid, pageno)
+        cache = self._cache
+        if decide(key in cache):
+            self.hits += 1
+            cache.move_to_end(key)
+            return cache[key]
+        self.misses += 1
+        page = self.storage.read_page(fid, pageno)
+        # eviction check is a second data-dependent branch
+        if decide(len(cache) >= self.capacity):
+            cache.popitem(last=False)
+        cache[key] = page
+        return page
+
+    def invalidate(self, fid: int) -> None:
+        """Drop all cached pages of a file (used when a file is rewritten)."""
+        for key in [k for k in self._cache if k[0] == fid]:
+            del self._cache[key]
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

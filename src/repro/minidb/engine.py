@@ -1,0 +1,105 @@
+"""The Database facade: catalog + buffer + storage + plan execution.
+
+A :class:`Database` owns a private registry clone, so each instance's
+per-index specialized routines are isolated; :meth:`kernel_model` builds the
+static image for *this* database, and :meth:`run` executes a plan tree to
+completion (queries always run to completion in the paper's methodology).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.kernel import kernel_routine
+from repro.kernel.model import ColdCodeConfig, KernelModel
+from repro.kernel.registry import Registry, default_registry
+from repro.minidb.buffer import DEFAULT_BUFFER_PAGES, BufferManager
+from repro.minidb.catalog import Table
+from repro.minidb.executor.node import PlanNode
+from repro.minidb.storage import DEFAULT_PAGE_CAPACITY, StorageManager
+from repro.minidb.tuples import Column, Schema
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-process minidb instance (one paper 'backend')."""
+
+    def __init__(
+        self,
+        name: str = "db",
+        *,
+        page_capacity: int = DEFAULT_PAGE_CAPACITY,
+        buffer_pages: int = DEFAULT_BUFFER_PAGES,
+        registry: Registry | None = None,
+    ) -> None:
+        self.name = name
+        self.registry = (registry if registry is not None else default_registry()).clone()
+        self.storage = StorageManager(page_capacity)
+        self.buffer = BufferManager(self.storage, buffer_pages)
+        self.tables: dict[str, Table] = {}
+
+    # -- catalog -------------------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[Column]) -> Table:
+        if name in self.tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = Table(name, Schema(columns), self.buffer, self.registry)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"no table {name!r}; have {sorted(self.tables)}") from None
+
+    def load(self, name: str, rows: Iterable[tuple]) -> int:
+        """Bulk-insert rows (untraced; the paper profiles queries only)."""
+        table = self.table(name)
+        n = 0
+        for row in rows:
+            table.insert(row)
+            n += 1
+        return n
+
+    # -- kernel model ----------------------------------------------------------
+
+    def kernel_model(
+        self,
+        *,
+        seed: int = 2029,
+        richness: float = 10.0,
+        cold: ColdCodeConfig | None = None,
+        clones: tuple[tuple[str, str], ...] = (),
+    ) -> KernelModel:
+        """Build the static image for this database's routine set.
+
+        Call after all tables and indexes exist (index creation registers
+        per-index specialized routines, like a compiled kernel's cloned
+        access paths). ``clones`` forwards profile-guided function-cloning
+        pairs to the model (see :mod:`repro.kernel.inline`).
+        """
+        return KernelModel(self.registry, seed=seed, richness=richness, cold=cold, clones=clones)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, plan: PlanNode) -> list[tuple]:
+        """Execute a plan tree to completion and return all result rows."""
+        plan.open()
+        out: list[tuple] = []
+        _executor_run(plan, out)
+        plan.close()
+        return out
+
+
+@kernel_routine("executor", sites=2, decides=1, name="ExecutorRun")
+def _executor_run(plan: PlanNode, out: list[tuple]) -> None:
+    """The executor's demand loop: pull rows from the plan root until done."""
+    from repro.kernel import decide
+
+    while True:
+        row = plan.next()
+        if not decide(row is not None):
+            return
+        out.append(row)

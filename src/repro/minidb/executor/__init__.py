@@ -1,0 +1,59 @@
+"""Volcano-style pipelined executor (Figure 1's Executor module).
+
+Plan nodes implement ``open() / next() / close()``; ``next`` returns one
+result row (or ``None`` at end of stream), so "each operation passes the
+result tuples to the parent operation in the execution plan as soon as they
+are generated" (paper, Section 2.2) — except Sort, Aggregate and Group,
+which must consume their whole input first, exactly the pipeline-breaking
+behaviour the paper's Training-set selection calls out.
+
+Each operation's ``next`` entry point is an instrumented kernel routine
+(``ExecSeqScan``, ``ExecNestLoop``, ...) marked ``op=True``: these are the
+seeds of the paper's knowledge-based *ops* layout.
+"""
+
+from repro.minidb.executor.expr import (
+    Expr,
+    col,
+    const,
+    and_,
+    or_,
+    not_,
+    between,
+    contains,
+    startswith,
+)
+from repro.minidb.executor.node import PlanNode
+from repro.minidb.executor.scan import SeqScan, IndexScan
+from repro.minidb.executor.join import NestLoopJoin, HashJoin, MergeJoin
+from repro.minidb.executor.sort import Sort, SortKey
+from repro.minidb.executor.agg import Aggregate, GroupAggregate, AggSpec
+from repro.minidb.executor.misc import Project, Filter, Limit, Material, Rename
+
+__all__ = [
+    "Expr",
+    "col",
+    "const",
+    "and_",
+    "or_",
+    "not_",
+    "between",
+    "contains",
+    "startswith",
+    "PlanNode",
+    "SeqScan",
+    "IndexScan",
+    "NestLoopJoin",
+    "HashJoin",
+    "MergeJoin",
+    "Sort",
+    "SortKey",
+    "Aggregate",
+    "GroupAggregate",
+    "AggSpec",
+    "Project",
+    "Filter",
+    "Limit",
+    "Material",
+    "Rename",
+]

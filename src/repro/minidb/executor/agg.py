@@ -1,0 +1,173 @@
+"""Aggregation: plain aggregates and sorted-input group aggregation.
+
+Both are pipeline breakers on their input side. ``GroupAggregate`` expects
+its input sorted on the group keys (plans place a Sort beneath it), which
+is how PostgreSQL 6.x executed GROUP BY (Sort + Group + Agg nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel import decide, kernel_routine
+from repro.minidb.executor.expr import Expr
+from repro.minidb.executor.node import PlanNode
+from repro.minidb.tuples import Column, ColumnType, Schema
+
+__all__ = ["AggSpec", "Aggregate", "GroupAggregate"]
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate: ``func`` in {count, sum, avg, min, max}; ``expr`` may be
+    None only for ``count`` (COUNT(*))."""
+
+    func: str
+    expr: Expr | None
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.func not in ("count", "sum", "avg", "min", "max"):
+            raise ValueError(f"unknown aggregate {self.func!r}")
+        if self.expr is None and self.func != "count":
+            raise ValueError(f"{self.func} requires an expression")
+
+    def output_type(self, schema: Schema) -> ColumnType:
+        if self.func == "count":
+            return ColumnType.INT
+        if self.func == "avg":
+            return ColumnType.FLOAT
+        return self.expr.column_type(schema)
+
+
+class _AggState:
+    """Accumulator for one group: one slot per AggSpec."""
+
+    __slots__ = ("count", "sums", "mins", "maxs", "n")
+
+    def __init__(self, n: int) -> None:
+        self.count = 0
+        self.sums = [0.0] * n
+        self.mins = [None] * n
+        self.maxs = [None] * n
+        self.n = n
+
+
+@kernel_routine("executor", sites=0, decides=1, name="advance_aggregates")
+def _advance(state: _AggState, fns: list, row: tuple) -> None:
+    """Fold one row into the accumulator (instrumented per tuple)."""
+    state.count += 1
+    for i, fn in enumerate(fns):
+        if fn is None:
+            continue
+        v = fn(row)
+        state.sums[i] += v if not isinstance(v, str) else 0
+        if decide(state.mins[i] is None or v < state.mins[i]):
+            state.mins[i] = v
+        if state.maxs[i] is None or v > state.maxs[i]:
+            state.maxs[i] = v
+
+
+def _finalize(state: _AggState, specs: list[AggSpec], int_result: list[bool]) -> tuple:
+    out = []
+    for i, spec in enumerate(specs):
+        if spec.func == "count":
+            out.append(state.count)
+        elif spec.func == "sum":
+            out.append(int(state.sums[i]) if int_result[i] else state.sums[i])
+        elif spec.func == "avg":
+            out.append(state.sums[i] / state.count if state.count else 0.0)
+        elif spec.func == "min":
+            out.append(state.mins[i])
+        else:
+            out.append(state.maxs[i])
+    return tuple(out)
+
+
+class Aggregate(PlanNode):
+    """Whole-input aggregation producing exactly one row."""
+
+    def __init__(self, child: PlanNode, aggs: list[AggSpec]) -> None:
+        if not aggs:
+            raise ValueError("Aggregate needs at least one AggSpec")
+        self.child = child
+        self.aggs = aggs
+        self.children = (child,)
+        self.schema = Schema([Column(a.label, a.output_type(child.schema)) for a in aggs])
+
+    def open(self) -> None:
+        super().open()
+        self._fns = [a.expr.compile(self.child.schema) if a.expr is not None else None for a in self.aggs]
+        self._int_result = [
+            a.expr is not None and a.expr.column_type(self.child.schema) in (ColumnType.INT, ColumnType.DATE)
+            for a in self.aggs
+        ]
+        self._done = False
+
+    @kernel_routine("executor", sites=2, decides=1, name="ExecAgg", op=True)
+    def next(self):
+        if decide(self._done):
+            return None
+        state = _AggState(len(self.aggs))
+        while (row := self.child.next()) is not None:
+            _advance(state, self._fns, row)
+        self._done = True
+        return _finalize(state, self.aggs, self._int_result)
+
+
+class GroupAggregate(PlanNode):
+    """Group-by aggregation over input sorted on the group keys.
+
+    Output rows are ``group key values + aggregate values``; the output
+    schema names group columns with the given labels.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_exprs: list[tuple[Expr, str]],
+        aggs: list[AggSpec],
+    ) -> None:
+        if not group_exprs:
+            raise ValueError("GroupAggregate needs at least one group expression")
+        self.child = child
+        self.group_exprs = group_exprs
+        self.aggs = aggs
+        self.children = (child,)
+        group_cols = [Column(label, expr.column_type(child.schema)) for expr, label in group_exprs]
+        agg_cols = [Column(a.label, a.output_type(child.schema)) for a in aggs]
+        self.schema = Schema(group_cols + agg_cols)
+
+    def open(self) -> None:
+        super().open()
+        self._group_fns = [e.compile(self.child.schema) for e, _ in self.group_exprs]
+        self._agg_fns = [a.expr.compile(self.child.schema) if a.expr is not None else None for a in self.aggs]
+        self._int_result = [
+            a.expr is not None and a.expr.column_type(self.child.schema) in (ColumnType.INT, ColumnType.DATE)
+            for a in self.aggs
+        ]
+        self._lookahead = None
+        self._started = False
+        self._exhausted = False
+
+    @kernel_routine("executor", sites=2, decides=2, name="ExecGroup", op=True)
+    def next(self):
+        if self._exhausted:
+            return None
+        if not self._started:
+            self._lookahead = self.child.next()
+            self._started = True
+        row = self._lookahead
+        if row is None:
+            self._exhausted = True
+            return None
+        group_key = tuple(fn(row) for fn in self._group_fns)
+        state = _AggState(len(self.aggs))
+        while row is not None:
+            key = tuple(fn(row) for fn in self._group_fns)
+            if not decide(key == group_key):
+                break
+            _advance(state, self._agg_fns, row)
+            row = self.child.next()
+        self._lookahead = row
+        return group_key + _finalize(state, self.aggs, self._int_result)

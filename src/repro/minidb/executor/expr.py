@@ -1,0 +1,259 @@
+"""Scalar expressions over rows, compiled to plain Python closures.
+
+Plans are built programmatically (the paper notes parsing/optimization time
+is negligible next to execution, Section 2, so minidb has no SQL parser).
+Expressions support comparison/arithmetic operator overloading::
+
+    qual = and_(col("l_shipdate") >= const(d0), col("l_discount") < 0.07)
+    fn = qual.compile(schema)        # row -> bool
+
+``compile`` resolves column names to tuple indexes once, so per-row
+evaluation is a closure call — important because quals run per tuple in the
+hot loop.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Callable
+
+from repro.minidb.tuples import ColumnType, Schema
+
+__all__ = ["Expr", "col", "const", "and_", "or_", "not_", "between", "contains", "startswith"]
+
+RowFn = Callable[[tuple], object]
+
+
+class Expr:
+    """Base expression; subclasses implement ``compile`` and ``column_type``."""
+
+    def compile(self, schema: Schema) -> RowFn:
+        raise NotImplementedError
+
+    def column_type(self, schema: Schema) -> ColumnType:
+        raise NotImplementedError
+
+    # -- operator sugar (autowrap plain Python values as Const) -----------
+
+    def __lt__(self, other):
+        return Comparison(operator.lt, "<", self, _wrap(other))
+
+    def __le__(self, other):
+        return Comparison(operator.le, "<=", self, _wrap(other))
+
+    def __gt__(self, other):
+        return Comparison(operator.gt, ">", self, _wrap(other))
+
+    def __ge__(self, other):
+        return Comparison(operator.ge, ">=", self, _wrap(other))
+
+    def __eq__(self, other):  # type: ignore[override]
+        return Comparison(operator.eq, "==", self, _wrap(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Comparison(operator.ne, "!=", self, _wrap(other))
+
+    __hash__ = None  # type: ignore[assignment]  # == builds a Comparison
+
+    def __add__(self, other):
+        return Arithmetic(operator.add, "+", self, _wrap(other))
+
+    def __radd__(self, other):
+        return Arithmetic(operator.add, "+", _wrap(other), self)
+
+    def __sub__(self, other):
+        return Arithmetic(operator.sub, "-", self, _wrap(other))
+
+    def __rsub__(self, other):
+        return Arithmetic(operator.sub, "-", _wrap(other), self)
+
+    def __mul__(self, other):
+        return Arithmetic(operator.mul, "*", self, _wrap(other))
+
+    def __rmul__(self, other):
+        return Arithmetic(operator.mul, "*", _wrap(other), self)
+
+    def __truediv__(self, other):
+        return Arithmetic(operator.truediv, "/", self, _wrap(other))
+
+    def __floordiv__(self, other):
+        return Arithmetic(operator.floordiv, "//", self, _wrap(other))
+
+
+def _wrap(value) -> "Expr":
+    return value if isinstance(value, Expr) else Const(value)
+
+
+class ColumnRef(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def compile(self, schema: Schema) -> RowFn:
+        idx = schema.index_of(self.name)
+        return operator.itemgetter(idx)
+
+    def column_type(self, schema: Schema) -> ColumnType:
+        return schema.columns[schema.index_of(self.name)].type
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Const(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def compile(self, schema: Schema) -> RowFn:
+        value = self.value
+        return lambda row: value
+
+    def column_type(self, schema: Schema) -> ColumnType:
+        if isinstance(self.value, bool) or isinstance(self.value, int):
+            return ColumnType.INT
+        if isinstance(self.value, float):
+            return ColumnType.FLOAT
+        return ColumnType.STR
+
+    def __repr__(self) -> str:
+        return f"const({self.value!r})"
+
+
+class Comparison(Expr):
+    __slots__ = ("op", "symbol", "left", "right")
+
+    def __init__(self, op, symbol: str, left: Expr, right: Expr) -> None:
+        self.op = op
+        self.symbol = symbol
+        self.left = left
+        self.right = right
+
+    def compile(self, schema: Schema) -> RowFn:
+        op, lf, rf = self.op, self.left.compile(schema), self.right.compile(schema)
+        return lambda row: op(lf(row), rf(row))
+
+    def column_type(self, schema: Schema) -> ColumnType:
+        return ColumnType.INT
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class Arithmetic(Comparison):
+    """Same compiled shape as Comparison; differs only in result type."""
+
+    def column_type(self, schema: Schema) -> ColumnType:
+        if self.op is operator.truediv:
+            return ColumnType.FLOAT
+        types = (self.left.column_type(schema), self.right.column_type(schema))
+        return ColumnType.FLOAT if ColumnType.FLOAT in types else ColumnType.INT
+
+
+class BoolOp(Expr):
+    __slots__ = ("combine", "symbol", "terms")
+
+    def __init__(self, combine, symbol: str, terms: tuple[Expr, ...]) -> None:
+        if not terms:
+            raise ValueError(f"{symbol} needs at least one term")
+        self.combine = combine
+        self.symbol = symbol
+        self.terms = terms
+
+    def compile(self, schema: Schema) -> RowFn:
+        fns = [t.compile(schema) for t in self.terms]
+        combine = self.combine
+        return lambda row: combine(fn(row) for fn in fns)
+
+    def column_type(self, schema: Schema) -> ColumnType:
+        return ColumnType.INT
+
+    def __repr__(self) -> str:
+        return f"{self.symbol}({', '.join(map(repr, self.terms))})"
+
+
+class Not(Expr):
+    __slots__ = ("term",)
+
+    def __init__(self, term: Expr) -> None:
+        self.term = term
+
+    def compile(self, schema: Schema) -> RowFn:
+        fn = self.term.compile(schema)
+        return lambda row: not fn(row)
+
+    def column_type(self, schema: Schema) -> ColumnType:
+        return ColumnType.INT
+
+    def __repr__(self) -> str:
+        return f"not_({self.term!r})"
+
+
+class StringMatch(Expr):
+    """LIKE-style matching: substring or prefix (TPC-D's only LIKE shapes)."""
+
+    __slots__ = ("term", "pattern", "mode")
+
+    def __init__(self, term: Expr, pattern: str, mode: str) -> None:
+        if mode not in ("contains", "startswith"):
+            raise ValueError(f"unknown match mode {mode!r}")
+        self.term = term
+        self.pattern = pattern
+        self.mode = mode
+
+    def compile(self, schema: Schema) -> RowFn:
+        fn = self.term.compile(schema)
+        pattern = self.pattern
+        if self.mode == "contains":
+            return lambda row: pattern in fn(row)
+        return lambda row: fn(row).startswith(pattern)
+
+    def column_type(self, schema: Schema) -> ColumnType:
+        return ColumnType.INT
+
+    def __repr__(self) -> str:
+        return f"{self.mode}({self.term!r}, {self.pattern!r})"
+
+
+# -- public constructors ----------------------------------------------------
+
+
+def col(name: str) -> ColumnRef:
+    """Reference a column by name (resolved at compile time)."""
+    return ColumnRef(name)
+
+
+def const(value) -> Const:
+    """A literal value."""
+    return Const(value)
+
+
+def and_(*terms: Expr) -> Expr:
+    """Conjunction (all terms true)."""
+    return BoolOp(all, "and_", terms)
+
+
+def or_(*terms: Expr) -> Expr:
+    """Disjunction (any term true)."""
+    return BoolOp(any, "or_", terms)
+
+
+def not_(term: Expr) -> Expr:
+    return Not(term)
+
+
+def between(term: Expr, lo, hi) -> Expr:
+    """Inclusive range check, as in SQL BETWEEN."""
+    return and_(term >= _wrap(lo), term <= _wrap(hi))
+
+
+def contains(term: Expr, substring: str) -> Expr:
+    """SQL ``LIKE '%substring%'``."""
+    return StringMatch(term, substring, "contains")
+
+
+def startswith(term: Expr, prefix: str) -> Expr:
+    """SQL ``LIKE 'prefix%'``."""
+    return StringMatch(term, prefix, "startswith")

@@ -1,0 +1,215 @@
+"""Join operations: nested loop (with parameterized inner), hash and merge.
+
+All three produce ``outer_row + inner_row`` concatenations (TPC-D column
+names are globally unique, so the concatenated schema is well-formed).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.kernel import decide, kernel_routine
+from repro.minidb.executor.expr import Expr
+from repro.minidb.executor.node import PlanNode, exec_qual
+
+__all__ = ["NestLoopJoin", "HashJoin", "MergeJoin"]
+
+
+class NestLoopJoin(PlanNode):
+    """Nested-loop join; ``bind`` parameterizes the inner per outer row.
+
+    With ``bind=lambda row: {"eq": row[k]}`` and an :class:`IndexScan`
+    inner, this is an index nested-loop join — the shape PostgreSQL picks
+    for TPC-D's foreign-key joins when indexes exist.
+    """
+
+    def __init__(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        *,
+        bind: Callable[[tuple], dict] | None = None,
+        qual: Expr | None = None,
+    ) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.bind = bind
+        self.qual = qual
+        self.children = (outer, inner)
+        self.schema = outer.schema.concat(inner.schema)
+        self._outer_row = None
+        self._qual_fn = None
+
+    def open(self) -> None:
+        self.outer.open()
+        # the inner is opened per outer row via rescan; open once to let it
+        # compile its expressions
+        self.inner.open()
+        self._qual_fn = self.qual.compile(self.schema) if self.qual is not None else None
+        self._outer_row = None
+
+    @kernel_routine("executor", sites=3, decides=1, name="ExecNestLoop", op=True)
+    def next(self):
+        qual_fn = self._qual_fn
+        while True:
+            if self._outer_row is None:
+                outer_row = self.outer.next()
+                if outer_row is None:
+                    return None
+                self._outer_row = outer_row
+                self.inner.rescan(**(self.bind(outer_row) if self.bind else {}))
+            inner_row = self.inner.next()
+            if not decide(inner_row is not None):
+                self._outer_row = None
+                continue
+            row = self._outer_row + inner_row
+            if qual_fn is None or exec_qual(qual_fn, row):
+                return row
+
+
+class HashJoin(PlanNode):
+    """Build a hash table on the inner input, probe with the outer."""
+
+    def __init__(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        outer_key: Expr,
+        inner_key: Expr,
+        *,
+        qual: Expr | None = None,
+    ) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.outer_key = outer_key
+        self.inner_key = inner_key
+        self.qual = qual
+        self.children = (outer, inner)
+        self.schema = outer.schema.concat(inner.schema)
+        self._table: dict | None = None
+        self._pending: list[tuple] = []
+        self._qual_fn = None
+        self._outer_key_fn = None
+
+    def open(self) -> None:
+        super().open()
+        self._outer_key_fn = self.outer_key.compile(self.outer.schema)
+        self._inner_key_fn = self.inner_key.compile(self.inner.schema)
+        self._qual_fn = self.qual.compile(self.schema) if self.qual is not None else None
+        self._table = None
+        self._pending = []
+
+    @kernel_routine("executor", sites=3, decides=2, name="ExecHashJoin", op=True)
+    def next(self):
+        if self._table is None:
+            self._build()
+        qual_fn = self._qual_fn
+        while True:
+            if self._pending:
+                return self._pending.pop()
+            outer_row = self.outer.next()
+            if outer_row is None:
+                return None
+            matches = self._table.get(self._outer_key_fn(outer_row))
+            if decide(matches is not None):
+                joined = (outer_row + m for m in matches)
+                if qual_fn is None:
+                    self._pending = list(joined)
+                else:
+                    self._pending = [r for r in joined if exec_qual(qual_fn, r)]
+                # reverse-pop preserves inner order for deterministic output
+                self._pending.reverse()
+
+    def _build(self) -> None:
+        table: dict = {}
+        key_fn = self._inner_key_fn
+        while (row := self.inner.next()) is not None:
+            _hash_put(table, key_fn(row), row)
+        self._table = table
+
+
+@kernel_routine("executor", sites=0, decides=1, name="ExecHashTableInsert")
+def _hash_put(table: dict, key, row: tuple) -> None:
+    """Insert a build row (each bucket-collision check is a data branch)."""
+    bucket = table.get(key)
+    if decide(bucket is None):
+        table[key] = [row]
+    else:
+        bucket.append(row)
+
+
+class MergeJoin(PlanNode):
+    """Merge join over inputs already sorted on the join keys (ascending)."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_key: Expr,
+        right_key: Expr,
+        *,
+        qual: Expr | None = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.qual = qual
+        self.children = (left, right)
+        self.schema = left.schema.concat(right.schema)
+
+    def open(self) -> None:
+        super().open()
+        self._left_key_fn = self.left_key.compile(self.left.schema)
+        self._right_key_fn = self.right_key.compile(self.right.schema)
+        self._qual_fn = self.qual.compile(self.schema) if self.qual is not None else None
+        self._pending: list[tuple] = []
+        self._group_key = None
+        self._group: list[tuple] = []
+        self._right_row = self.right.next()  # one-row lookahead
+
+    @kernel_routine("executor", sites=3, decides=2, name="ExecMergeJoin", op=True)
+    def next(self):
+        qual_fn = self._qual_fn
+        while True:
+            if self._pending:
+                return self._pending.pop()
+            left_row = self.left.next()
+            if left_row is None:
+                return None
+            key = self._left_key_fn(left_row)
+            self._advance_group(key)
+            if decide(self._group_key == key):
+                joined = (left_row + r for r in self._group)
+                if qual_fn is None:
+                    self._pending = list(joined)
+                else:
+                    self._pending = [r for r in joined if exec_qual(qual_fn, r)]
+                self._pending.reverse()
+
+    def _advance_group(self, key) -> None:
+        """Advance the buffered right-side group until its key is >= ``key``.
+
+        Keeping the whole equal-key group buffered handles many-to-many
+        joins: consecutive equal left keys re-match the same group.
+        """
+        while self._group_key is None or self._group_key < key:
+            if self._right_row is None:
+                # right side exhausted with no group at/above key
+                self._group_key = None
+                self._group = []
+                return
+            group_key = self._right_key_fn(self._right_row)
+            group = [self._right_row]
+            while True:
+                row = self.right.next()
+                if row is None:
+                    self._right_row = None
+                    break
+                if decide(self._right_key_fn(row) == group_key):
+                    group.append(row)
+                else:
+                    self._right_row = row
+                    break
+            self._group_key = group_key
+            self._group = group

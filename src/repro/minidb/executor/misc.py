@@ -1,0 +1,150 @@
+"""Projection, filter, limit, materialization and rename nodes."""
+
+from __future__ import annotations
+
+from repro.kernel import decide, kernel_routine
+from repro.minidb.executor.expr import Expr
+from repro.minidb.executor.node import PlanNode, exec_project, exec_qual
+from repro.minidb.tuples import Column, Schema
+
+__all__ = ["Project", "Filter", "Limit", "Material", "Rename"]
+
+
+class Project(PlanNode):
+    """Compute output expressions (PostgreSQL's Result/targetlist step)."""
+
+    def __init__(self, child: PlanNode, exprs: list[tuple[Expr, str]]) -> None:
+        if not exprs:
+            raise ValueError("Project needs at least one expression")
+        self.child = child
+        self.exprs = exprs
+        self.children = (child,)
+        self.schema = Schema([Column(label, e.column_type(child.schema)) for e, label in exprs])
+
+    def open(self) -> None:
+        super().open()
+        self._fns = [e.compile(self.child.schema) for e, _ in self.exprs]
+
+    def rescan(self, **params) -> None:
+        self.child.rescan(**params)
+
+    @kernel_routine("executor", sites=2, decides=0, name="ExecResult", op=True)
+    def next(self):
+        row = self.child.next()
+        if row is None:
+            return None
+        return exec_project(self._fns, row)
+
+
+class Filter(PlanNode):
+    """Standalone qualification (e.g. HAVING over aggregate output)."""
+
+    def __init__(self, child: PlanNode, qual: Expr) -> None:
+        self.child = child
+        self.qual = qual
+        self.children = (child,)
+        self.schema = child.schema
+
+    def open(self) -> None:
+        super().open()
+        self._qual_fn = self.qual.compile(self.schema)
+
+    def rescan(self, **params) -> None:
+        self.child.rescan(**params)
+
+    @kernel_routine("executor", sites=2, decides=0, name="ExecFilter")
+    def next(self):
+        qual_fn = self._qual_fn
+        while (row := self.child.next()) is not None:
+            if exec_qual(qual_fn, row):
+                return row
+        return None
+
+
+class Limit(PlanNode):
+    """Stop after ``n`` rows."""
+
+    def __init__(self, child: PlanNode, n: int) -> None:
+        if n < 0:
+            raise ValueError("limit must be >= 0")
+        self.child = child
+        self.n = n
+        self.children = (child,)
+        self.schema = child.schema
+
+    def open(self) -> None:
+        super().open()
+        self._emitted = 0
+
+    def rescan(self, **params) -> None:
+        self._emitted = 0
+        self.child.rescan(**params)
+
+    @kernel_routine("executor", sites=2, decides=1, name="ExecLimit")
+    def next(self):
+        if not decide(self._emitted < self.n):
+            return None
+        row = self.child.next()
+        if row is None:
+            return None
+        self._emitted += 1
+        return row
+
+
+class Material(PlanNode):
+    """Materialize the child once; rescans replay without re-executing it.
+
+    This is what makes a non-parameterized nested-loop inner affordable —
+    exactly PostgreSQL's Material node.
+    """
+
+    def __init__(self, child: PlanNode) -> None:
+        self.child = child
+        self.children = (child,)
+        self.schema = child.schema
+
+    def open(self) -> None:
+        super().open()
+        self._rows: list[tuple] | None = None
+        self._pos = 0
+
+    def rescan(self) -> None:
+        self._pos = 0
+
+    @kernel_routine("executor", sites=2, decides=1, name="ExecMaterial")
+    def next(self):
+        if self._rows is None:
+            rows = []
+            while (row := self.child.next()) is not None:
+                rows.append(row)
+            self._rows = rows
+        if decide(self._pos < len(self._rows)):
+            row = self._rows[self._pos]
+            self._pos += 1
+            return row
+        return None
+
+
+class Rename(PlanNode):
+    """Rename output columns (a compile-time alias; rows pass through).
+
+    Needed when the same table appears twice in a plan (Q7/Q8 join nation
+    twice) so the concatenated join schema keeps unique names. Not an
+    instrumented routine: renaming has no runtime code in a real kernel.
+    """
+
+    def __init__(self, child: PlanNode, mapping: dict[str, str]) -> None:
+        unknown = set(mapping) - set(child.schema.names())
+        if unknown:
+            raise ValueError(f"cannot rename unknown columns {sorted(unknown)}")
+        self.child = child
+        self.children = (child,)
+        self.schema = Schema(
+            [Column(mapping.get(c.name, c.name), c.type) for c in child.schema.columns]
+        )
+
+    def rescan(self, **params) -> None:
+        self.child.rescan(**params)
+
+    def next(self):
+        return self.child.next()

@@ -1,0 +1,70 @@
+"""Plan-node protocol and shared per-tuple kernel routines.
+
+``next()`` returns one output row or ``None`` at end of stream. The
+``rescan`` method restarts a node — with new parameter bindings for the
+inner side of a nested-loop join (the paper's plans use index nested loops,
+which rebind the index key per outer row).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.kernel import decide, kernel_routine
+from repro.minidb.tuples import Schema
+
+__all__ = ["PlanNode", "exec_qual", "exec_project"]
+
+
+class PlanNode:
+    """Base class: subclasses set ``schema`` and ``children`` at init."""
+
+    schema: Schema
+    children: tuple["PlanNode", ...] = ()
+
+    def open(self) -> None:
+        """Prepare for execution (compile expressions, reset state)."""
+        for child in self.children:
+            child.open()
+
+    def next(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def close(self) -> None:
+        for child in self.children:
+            child.close()
+
+    def rescan(self, **params) -> None:
+        """Restart the stream; parameterizable nodes accept new bindings."""
+        raise NotImplementedError(f"{type(self).__name__} does not support rescan")
+
+    def run(self) -> list[tuple]:
+        """Drain the node (convenience for tests; queries go through Database.run)."""
+        self.open()
+        out = []
+        while (row := self.next()) is not None:
+            out.append(row)
+        self.close()
+        return out
+
+    def explain(self, indent: int = 0) -> str:
+        """Nested textual plan, vaguely like EXPLAIN output."""
+        line = "  " * indent + type(self).__name__
+        return "\n".join([line] + [c.explain(indent + 1) for c in self.children])
+
+
+@kernel_routine("executor", sites=0, decides=1, name="ExecQual")
+def exec_qual(pred: Callable[[tuple], object], row: tuple) -> bool:
+    """Evaluate a compiled qualification against one row.
+
+    The paper's workload characterization singles out the Qualify operation
+    as a dominant, data-dependent kernel path — each evaluation is a dynamic
+    branch steered by the actual data.
+    """
+    return decide(pred(row))
+
+
+@kernel_routine("executor", sites=0, decides=0, name="ExecProject")
+def exec_project(fns: list[Callable[[tuple], object]], row: tuple) -> tuple:
+    """Compute a projection's output tuple."""
+    return tuple(fn(row) for fn in fns)

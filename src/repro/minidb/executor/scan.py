@@ -1,0 +1,122 @@
+"""Scan operations: sequential heap scan and (B-tree or hash) index scan."""
+
+from __future__ import annotations
+
+from repro.kernel import kernel_routine
+from repro.minidb.btree import BTreeIndex
+from repro.minidb.catalog import Table
+from repro.minidb.executor.expr import Expr
+from repro.minidb.executor.node import PlanNode, exec_qual
+from repro.minidb.hashindex import HashIndex
+
+__all__ = ["SeqScan", "IndexScan"]
+
+
+class SeqScan(PlanNode):
+    """Full heap scan with an optional qualification."""
+
+    def __init__(self, table: Table, qual: Expr | None = None) -> None:
+        self.table = table
+        self.qual = qual
+        self.schema = table.schema
+        self._iter = None
+        self._qual_fn = None
+
+    def open(self) -> None:
+        self._qual_fn = self.qual.compile(self.schema) if self.qual is not None else None
+        self._iter = self.table.heap_scan()
+
+    def rescan(self) -> None:
+        self._iter = self.table.heap_scan()
+
+    @kernel_routine("executor", sites=2, decides=0, name="ExecSeqScan", op=True)
+    def next(self):
+        qual_fn = self._qual_fn
+        for row in self._iter:
+            if qual_fn is None or exec_qual(qual_fn, row):
+                return row
+        return None
+
+    def close(self) -> None:
+        self._iter = None
+
+
+class IndexScan(PlanNode):
+    """Index lookup/range scan with heap fetch and optional qualification.
+
+    Key forms:
+
+    * ``eq=value`` — exact-match lookup (works on B-tree and hash indexes);
+    * ``lo=... / hi=...`` (with ``lo_strict``/``hi_strict``) — B-tree range.
+
+    The inner side of an index nested-loop join rebinds the key per outer
+    row via ``rescan(eq=...)`` / ``rescan(lo=..., hi=...)``.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        column: str,
+        *,
+        index_kind: str = "btree",
+        eq=None,
+        lo=None,
+        hi=None,
+        lo_strict: bool = False,
+        hi_strict: bool = False,
+        qual: Expr | None = None,
+    ) -> None:
+        self.table = table
+        self.column = column
+        self.index = table.index_on(column, index_kind)
+        if isinstance(self.index, HashIndex) and eq is None and (lo is not None or hi is not None):
+            raise ValueError(f"hash index on {column!r} supports only eq lookups")
+        self.keys = {"eq": eq, "lo": lo, "hi": hi, "lo_strict": lo_strict, "hi_strict": hi_strict}
+        self.qual = qual
+        self.schema = table.schema
+        self._iter = None
+        self._qual_fn = None
+
+    def open(self) -> None:
+        self._qual_fn = self.qual.compile(self.schema) if self.qual is not None else None
+        self._start()
+
+    def rescan(self, **keys) -> None:
+        if keys:
+            unknown = set(keys) - set(self.keys)
+            if unknown:
+                raise ValueError(f"unknown index scan bindings {sorted(unknown)}")
+            self.keys.update(keys)
+        self._start()
+
+    def _start(self) -> None:
+        eq = self.keys["eq"]
+        if eq is not None:
+            self._iter = iter(self.index.search(eq))
+        elif isinstance(self.index, BTreeIndex):
+            self._iter = self.index.range_scan(
+                self.keys["lo"],
+                self.keys["hi"],
+                lo_strict=self.keys["lo_strict"],
+                hi_strict=self.keys["hi_strict"],
+            )
+        else:
+            # a hash inner of a nested loop is opened unbound; the join
+            # binds the key via rescan(eq=...) before pulling rows
+            self._iter = None
+
+    @kernel_routine("executor", sites=2, decides=0, name="ExecIndexScan", op=True)
+    def next(self):
+        if self._iter is None:
+            raise RuntimeError(
+                f"hash index scan on {self.table.name}.{self.column} was never bound (rescan(eq=...))"
+            )
+        qual_fn = self._qual_fn
+        for tid in self._iter:
+            row = self.table.fetch(tid)
+            if qual_fn is None or exec_qual(qual_fn, row):
+                return row
+        return None
+
+    def close(self) -> None:
+        self._iter = None

@@ -1,0 +1,82 @@
+"""Sort operation.
+
+Sort is a pipeline breaker: it materializes its whole input before emitting
+the first row (paper Section 4: Sort/Aggregate/Group "need all their
+children's results to be executed, which stops the normal pipelined
+execution"). Each input row goes through an instrumented ``tuplesort``
+insertion whose data-dependent branch is the classic run-detection
+comparison of replacement selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel import decide, kernel_routine
+from repro.minidb.executor.expr import Expr
+from repro.minidb.executor.node import PlanNode
+
+__all__ = ["SortKey", "Sort"]
+
+
+@dataclass(frozen=True)
+class SortKey:
+    expr: Expr
+    descending: bool = False
+
+
+class Sort(PlanNode):
+    """Sort the child's output on one or more keys (stable, multi-key)."""
+
+    def __init__(self, child: PlanNode, keys: list[SortKey]) -> None:
+        if not keys:
+            raise ValueError("Sort needs at least one key")
+        self.child = child
+        self.keys = keys
+        self.children = (child,)
+        self.schema = child.schema
+
+    def open(self) -> None:
+        super().open()
+        self._key_fns = [(k.expr.compile(self.schema), k.descending) for k in self.keys]
+        self._rows: list[tuple] | None = None
+        self._pos = 0
+
+    def rescan(self) -> None:
+        """Replay the already-sorted result (no re-sort needed)."""
+        self._pos = 0
+
+    @kernel_routine("executor", sites=2, decides=1, name="ExecSort", op=True)
+    def next(self):
+        if self._rows is None:
+            self._materialize_and_sort()
+        if decide(self._pos < len(self._rows)):
+            row = self._rows[self._pos]
+            self._pos += 1
+            return row
+        return None
+
+    def _materialize_and_sort(self) -> None:
+        rows: list[tuple] = []
+        first_fn = self._key_fns[0][0]
+        prev_key = None
+        while (row := self.child.next()) is not None:
+            prev_key = _tuplesort_put(rows, row, first_fn, prev_key)
+        # stable multi-pass sort: least-significant key first
+        for fn, descending in reversed(self._key_fns):
+            rows.sort(key=fn, reverse=descending)
+        self._rows = rows
+        self._pos = 0
+
+
+@kernel_routine("utility", sites=0, decides=1, name="tuplesort_puttuple")
+def _tuplesort_put(rows: list[tuple], row: tuple, key_fn, prev_key):
+    """Insert one row into the sort workspace.
+
+    The branch models run detection in replacement selection: does this row
+    extend the current run or start a new one?
+    """
+    key = key_fn(row)
+    decide(prev_key is None or key >= prev_key)
+    rows.append(row)
+    return key

@@ -1,0 +1,85 @@
+"""Tuple and schema primitives.
+
+Rows are plain Python tuples; a :class:`Schema` names and types the fields.
+TPC-D column names are globally unique (``l_``/``o_``/``c_`` prefixes), so
+join output schemas are simple concatenations, as in the benchmark's own
+documentation.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["ColumnType", "Column", "Schema"]
+
+
+class ColumnType(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    DATE = "date"  # stored as integer day number
+
+
+_PY_TYPES = {
+    ColumnType.INT: int,
+    ColumnType.FLOAT: float,
+    ColumnType.STR: str,
+    ColumnType.DATE: int,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    type: ColumnType
+
+    def accepts(self, value: object) -> bool:
+        return isinstance(value, _PY_TYPES[self.type]) and not (
+            self.type in (ColumnType.INT, ColumnType.DATE) and isinstance(value, bool)
+        )
+
+
+class Schema:
+    """Ordered, uniquely named columns with O(1) name lookup."""
+
+    __slots__ = ("columns", "_index")
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        self.columns = tuple(columns)
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+        if len(self._index) != len(self.columns):
+            raise ValueError("duplicate column names in schema")
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"no column {name!r}; have {[c.name for c in self.columns]}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Join output schema (column names must stay unique)."""
+        return Schema(self.columns + other.columns)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        return Schema(tuple(self.columns[self.index_of(n)] for n in names))
+
+    def validate_row(self, row: tuple) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(f"row arity {len(row)} != schema arity {len(self.columns)}")
+        for value, column in zip(row, self.columns):
+            if not column.accepts(value):
+                raise TypeError(f"column {column.name!r} ({column.type.value}) rejects {value!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Schema({', '.join(f'{c.name}:{c.type.value}' for c in self.columns)})"

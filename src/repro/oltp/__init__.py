@@ -1,0 +1,30 @@
+"""OLTP workload — the paper's Section 8 future-work direction.
+
+"In the near future ... we will examine the effect of our technique on the
+IPC for a wider range of applications like OLTP workloads." This package
+implements that study: a TPC-C-style transactional workload (New-Order,
+Payment, Order-Status over warehouse/district/customer/stock tables) that
+runs on minidb alongside the TPC-D schema, so one static image serves both
+workloads and cross-training experiments are possible (DSS-trained layout
+evaluated on OLTP execution, and vice versa).
+
+Unlike the read-only DSS queries, OLTP transactions exercise the engine's
+write paths (inserts with index maintenance, in-place updates), which
+appear in the traces like every other kernel routine.
+"""
+
+from repro.oltp.schema import TPCC_TABLES
+from repro.oltp.gen import populate_oltp
+from repro.oltp.transactions import new_order, payment, order_status, run_mix
+from repro.oltp.workload import OLTPWorkload, build_combined_database
+
+__all__ = [
+    "TPCC_TABLES",
+    "populate_oltp",
+    "new_order",
+    "payment",
+    "order_status",
+    "run_mix",
+    "OLTPWorkload",
+    "build_combined_database",
+]

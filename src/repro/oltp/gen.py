@@ -1,0 +1,83 @@
+"""OLTP data generator: deterministic initial population."""
+
+from __future__ import annotations
+
+from repro.minidb.engine import Database
+from repro.oltp.schema import (
+    CUSTOMERS_PER_DISTRICT,
+    DISTRICTS_PER_WAREHOUSE,
+    N_ITEMS,
+    TPCC_TABLES,
+    customer_key,
+    district_key,
+    stock_key,
+)
+from repro.util.rng import stream
+
+__all__ = ["populate_oltp"]
+
+
+def populate_oltp(
+    db: Database,
+    warehouses: int = 2,
+    *,
+    seed: int = 13,
+    index_kinds: tuple[str, ...] = ("btree", "hash"),
+    customers_per_district: int = CUSTOMERS_PER_DISTRICT,
+    n_items: int = N_ITEMS,
+) -> dict[str, int]:
+    """Create and load the TPC-C-style tables; returns row counts.
+
+    Tables may coexist with the TPC-D schema in the same Database (names
+    are disjoint), which is what the cross-workload experiments rely on.
+    """
+    if warehouses < 1:
+        raise ValueError("need at least one warehouse")
+    rng = stream(seed, "oltp")
+    counts: dict[str, int] = {}
+    for name, spec in TPCC_TABLES.items():
+        table = db.create_table(name, spec.columns)
+        for kind in index_kinds:
+            for column in spec.unique_keys:
+                table.create_index(column, kind, unique=True)
+            for column in spec.foreign_keys:
+                table.create_index(column, kind)
+
+    counts["item"] = db.load(
+        "item",
+        ((i, f"item-{i:05d}", round(float(rng.uniform(1.0, 100.0)), 2)) for i in range(1, n_items + 1)),
+    )
+    counts["warehouse"] = db.load(
+        "warehouse",
+        ((w, f"wh-{w}", round(float(rng.uniform(0.0, 0.2)), 4), 0.0) for w in range(1, warehouses + 1)),
+    )
+    counts["district"] = db.load(
+        "district",
+        (
+            (district_key(w, d), d, w, round(float(rng.uniform(0.0, 0.2)), 4), 1, 0.0)
+            for w in range(1, warehouses + 1)
+            for d in range(1, DISTRICTS_PER_WAREHOUSE + 1)
+        ),
+    )
+    counts["tpcc_customer"] = db.load(
+        "tpcc_customer",
+        (
+            (customer_key(w, d, c), c, d, w, f"cust-{w}-{d}-{c}", 0.0, 0.0, 0)
+            for w in range(1, warehouses + 1)
+            for d in range(1, DISTRICTS_PER_WAREHOUSE + 1)
+            for c in range(1, customers_per_district + 1)
+        ),
+    )
+    counts["stock"] = db.load(
+        "stock",
+        (
+            (stock_key(i, w), i, w, int(rng.integers(10, 101)), 0, 0)
+            for i in range(1, n_items + 1)
+            for w in range(1, warehouses + 1)
+        ),
+    )
+    # order tables start empty: transactions create them
+    counts["oorder"] = 0
+    counts["order_line"] = 0
+    counts["history"] = 0
+    return counts

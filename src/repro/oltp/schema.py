@@ -1,0 +1,139 @@
+"""TPC-C-style schema (the OLTP counterpart of :mod:`repro.tpcd.schema`).
+
+Cardinalities scale with the warehouse count, as in TPC-C: 10 districts
+per warehouse, 300 customers per district (scaled down from 3000 to keep
+in-memory runs snappy), 1000 items, 1 stock row per (item, warehouse).
+Only balances and counters are updated by transactions, so all indexed
+columns are immutable — matching :meth:`repro.minidb.catalog.Table.update`'s
+in-place contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.minidb.tuples import Column, ColumnType
+
+__all__ = ["OLTPTableSpec", "TPCC_TABLES", "DISTRICTS_PER_WAREHOUSE", "CUSTOMERS_PER_DISTRICT", "N_ITEMS"]
+
+I, F, S, D = ColumnType.INT, ColumnType.FLOAT, ColumnType.STR, ColumnType.DATE
+
+DISTRICTS_PER_WAREHOUSE = 10
+CUSTOMERS_PER_DISTRICT = 300
+N_ITEMS = 1000
+
+
+@dataclass(frozen=True)
+class OLTPTableSpec:
+    name: str
+    columns: tuple[Column, ...]
+    unique_keys: tuple[str, ...] = ()
+    foreign_keys: tuple[str, ...] = ()
+
+
+def _cols(*pairs) -> tuple[Column, ...]:
+    return tuple(Column(n, t) for n, t in pairs)
+
+
+TPCC_TABLES: dict[str, OLTPTableSpec] = {
+    spec.name: spec
+    for spec in (
+        OLTPTableSpec(
+            "item",
+            _cols(("i_id", I), ("i_name", S), ("i_price", F)),
+            unique_keys=("i_id",),
+        ),
+        OLTPTableSpec(
+            "warehouse",
+            _cols(("w_id", I), ("w_name", S), ("w_tax", F), ("w_ytd", F)),
+            unique_keys=("w_id",),
+        ),
+        OLTPTableSpec(
+            "district",
+            _cols(
+                ("d_key", I),  # w_id * 100 + d_id: single-column composite key
+                ("d_id", I),
+                ("d_w_id", I),
+                ("d_tax", F),
+                ("d_next_o_id", I),
+                ("d_ytd", F),
+            ),
+            unique_keys=("d_key",),
+            foreign_keys=("d_w_id",),
+        ),
+        OLTPTableSpec(
+            "tpcc_customer",
+            _cols(
+                ("c_key", I),  # (w_id * 100 + d_id) * 10000 + c_id
+                ("c_id", I),
+                ("c_d_id", I),
+                ("c_w_id", I),
+                ("c_name", S),
+                ("c_balance", F),
+                ("c_ytd_payment", F),
+                ("c_payment_cnt", I),
+            ),
+            unique_keys=("c_key",),
+            foreign_keys=("c_w_id",),
+        ),
+        OLTPTableSpec(
+            "stock",
+            _cols(
+                ("s_key", I),  # i_id * 1000 + w_id
+                ("s_i_id", I),
+                ("s_w_id", I),
+                ("s_quantity", I),
+                ("s_ytd", I),
+                ("s_order_cnt", I),
+            ),
+            unique_keys=("s_key",),
+            foreign_keys=("s_i_id",),
+        ),
+        OLTPTableSpec(
+            "oorder",
+            _cols(
+                ("o_key", I),  # (w_id * 100 + d_id) * 1000000 + o_id
+                ("o_id", I),
+                ("o_d_id", I),
+                ("o_w_id", I),
+                ("o_c_id", I),
+                ("o_entry_d", D),
+                ("o_ol_cnt", I),
+            ),
+            unique_keys=("o_key",),
+            foreign_keys=("o_c_id",),
+        ),
+        OLTPTableSpec(
+            "order_line",
+            _cols(
+                ("ol_o_key", I),
+                ("ol_number", I),
+                ("ol_i_id", I),
+                ("ol_qty", I),
+                ("ol_amount", F),
+            ),
+            foreign_keys=("ol_o_key",),
+        ),
+        OLTPTableSpec(
+            "history",
+            _cols(("h_c_key", I), ("h_date", D), ("h_amount", F)),
+            foreign_keys=("h_c_key",),
+        ),
+    )
+}
+
+
+def district_key(w_id: int, d_id: int) -> int:
+    return w_id * 100 + d_id
+
+
+def customer_key(w_id: int, d_id: int, c_id: int) -> int:
+    return district_key(w_id, d_id) * 10_000 + c_id
+
+
+def stock_key(i_id: int, w_id: int) -> int:
+    return i_id * 1000 + w_id
+
+
+def order_key(w_id: int, d_id: int, o_id: int) -> int:
+    return district_key(w_id, d_id) * 1_000_000 + o_id

@@ -1,0 +1,174 @@
+"""The three OLTP transactions: New-Order, Payment, Order-Status.
+
+Each transaction is driven through the executor (index scans / projections)
+plus the engine's write paths (:meth:`Table.insert`,
+:meth:`Table.update`), all instrumented, so a traced transaction mix
+produces the same kind of dynamic basic-block trace as the DSS queries —
+just with a very different path profile (short index-heavy transactions,
+write amplification through index maintenance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.minidb.engine import Database
+from repro.minidb.executor import IndexScan, Limit, Project, col
+from repro.oltp.schema import (
+    CUSTOMERS_PER_DISTRICT,
+    DISTRICTS_PER_WAREHOUSE,
+    N_ITEMS,
+    customer_key,
+    district_key,
+    order_key,
+    stock_key,
+)
+
+__all__ = ["new_order", "payment", "order_status", "run_mix"]
+
+
+def _fetch_one(db: Database, table: str, column: str, key, index_kind: str):
+    """Point lookup through the executor: (row, tid is implicit)."""
+    rows = db.run(Limit(IndexScan(db.table(table), column, index_kind=index_kind, eq=key), 1))
+    if not rows:
+        raise KeyError(f"{table}.{column} = {key!r} not found")
+    return rows[0]
+
+
+def _tid_of(db: Database, table: str, column: str, key, index_kind: str):
+    tids = db.table(table).index_on(column, index_kind).search(key)
+    if not tids:
+        raise KeyError(f"{table}.{column} = {key!r} not found")
+    return tids[0]
+
+
+def new_order(
+    db: Database,
+    w_id: int,
+    d_id: int,
+    c_id: int,
+    items: list[tuple[int, int]],
+    *,
+    index_kind: str = "btree",
+    entry_date: int = 0,
+) -> int:
+    """Place an order of ``items`` = [(item id, quantity)]; returns o_id."""
+    district_table = db.table("district")
+    d_tid = _tid_of(db, "district", "d_key", district_key(w_id, d_id), index_kind)
+    district = district_table.fetch(d_tid)
+    o_id = district[4]
+    district_table.update(d_tid, district[:4] + (o_id + 1,) + district[5:])
+
+    total = 0.0
+    stock_table = db.table("stock")
+    for number, (i_id, qty) in enumerate(items, start=1):
+        item = _fetch_one(db, "item", "i_id", i_id, index_kind)
+        s_tid = _tid_of(db, "stock", "s_key", stock_key(i_id, w_id), index_kind)
+        stock = stock_table.fetch(s_tid)
+        quantity = stock[3] - qty if stock[3] >= qty + 10 else stock[3] - qty + 91
+        stock_table.update(
+            s_tid, stock[:3] + (quantity, stock[4] + qty, stock[5] + 1)
+        )
+        amount = round(item[2] * qty, 2)
+        total += amount
+        db.table("order_line").insert(
+            (order_key(w_id, d_id, o_id), number, i_id, qty, amount)
+        )
+    db.table("oorder").insert(
+        (order_key(w_id, d_id, o_id), o_id, d_id, w_id, c_id, entry_date, len(items))
+    )
+    return o_id
+
+
+def payment(
+    db: Database,
+    w_id: int,
+    d_id: int,
+    c_id: int,
+    amount: float,
+    *,
+    index_kind: str = "btree",
+    date: int = 0,
+) -> float:
+    """Record a customer payment; returns the new balance."""
+    wh_table = db.table("warehouse")
+    w_tid = _tid_of(db, "warehouse", "w_id", w_id, index_kind)
+    warehouse = wh_table.fetch(w_tid)
+    wh_table.update(w_tid, warehouse[:3] + (warehouse[3] + amount,))
+
+    district_table = db.table("district")
+    d_tid = _tid_of(db, "district", "d_key", district_key(w_id, d_id), index_kind)
+    district = district_table.fetch(d_tid)
+    district_table.update(d_tid, district[:5] + (district[5] + amount,))
+
+    cust_table = db.table("tpcc_customer")
+    c_key = customer_key(w_id, d_id, c_id)
+    c_tid = _tid_of(db, "tpcc_customer", "c_key", c_key, index_kind)
+    customer = cust_table.fetch(c_tid)
+    balance = customer[5] - amount
+    cust_table.update(
+        c_tid,
+        customer[:5] + (balance, customer[6] + amount, customer[7] + 1),
+    )
+    db.table("history").insert((c_key, date, amount))
+    return balance
+
+
+def order_status(
+    db: Database,
+    w_id: int,
+    d_id: int,
+    c_id: int,
+    *,
+    index_kind: str = "btree",
+):
+    """Read a customer's balance and their most recent order's lines."""
+    customer = _fetch_one(db, "tpcc_customer", "c_key", customer_key(w_id, d_id, c_id), index_kind)
+    orders = db.run(
+        Project(
+            IndexScan(db.table("oorder"), "o_c_id", index_kind=index_kind, eq=c_id),
+            [(col("o_key"), "o_key"), (col("o_id"), "o_id"), (col("o_ol_cnt"), "cnt")],
+        )
+    )
+    if not orders:
+        return customer[5], []
+    last = max(orders, key=lambda r: r[1])
+    lines = db.run(
+        IndexScan(db.table("order_line"), "ol_o_key", index_kind=index_kind, eq=last[0])
+    )
+    return customer[5], lines
+
+
+def run_mix(
+    db: Database,
+    n_transactions: int,
+    *,
+    warehouses: int,
+    seed: int = 29,
+    index_kind: str = "btree",
+    customers_per_district: int = CUSTOMERS_PER_DISTRICT,
+    n_items: int = N_ITEMS,
+) -> dict[str, int]:
+    """Run the TPC-C-style mix (45% New-Order / 43% Payment / 12% Status)."""
+    rng = np.random.default_rng(seed)
+    executed = {"new_order": 0, "payment": 0, "order_status": 0}
+    for _ in range(n_transactions):
+        w = int(rng.integers(1, warehouses + 1))
+        d = int(rng.integers(1, DISTRICTS_PER_WAREHOUSE + 1))
+        c = int(rng.integers(1, customers_per_district + 1))
+        u = rng.random()
+        if u < 0.45:
+            n_lines = int(rng.integers(3, 9))
+            items = [
+                (int(rng.integers(1, n_items + 1)), int(rng.integers(1, 11)))
+                for _ in range(n_lines)
+            ]
+            new_order(db, w, d, c, items, index_kind=index_kind)
+            executed["new_order"] += 1
+        elif u < 0.88:
+            payment(db, w, d, c, round(float(rng.uniform(1.0, 500.0)), 2), index_kind=index_kind)
+            executed["payment"] += 1
+        else:
+            order_status(db, w, d, c, index_kind=index_kind)
+            executed["order_status"] += 1
+    return executed

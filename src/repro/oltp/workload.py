@@ -1,0 +1,76 @@
+"""Combined DSS + OLTP workload for cross-training experiments.
+
+One Database hosts both schemas, so both workloads execute the same static
+image (one "binary"), enabling the question the paper raises: does a layout
+trained on the DSS profile still help an OLTP execution?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.model import ColdCodeConfig, KernelModel
+from repro.minidb.engine import Database
+from repro.oltp.gen import populate_oltp
+from repro.oltp.transactions import run_mix
+from repro.profiling.trace import BlockTrace
+from repro.tpcd.dbgen import generate_table
+from repro.tpcd.schema import TPCD_TABLES
+from repro.tpcd.workload import TRAINING_QUERIES, capture_trace
+
+__all__ = ["build_combined_database", "OLTPWorkload"]
+
+
+def build_combined_database(
+    dss_scale: float = 0.002,
+    warehouses: int = 2,
+    *,
+    seed: int = 7,
+    buffer_pages: int = 256,
+) -> Database:
+    """TPC-D and TPC-C-style tables in one Database (shared kernel image)."""
+    db = Database("mixed", buffer_pages=buffer_pages)
+    for name, spec in TPCD_TABLES.items():
+        table = db.create_table(name, spec.columns)
+        for kind in ("btree", "hash"):
+            for column in spec.unique_keys:
+                table.create_index(column, kind, unique=True)
+            for column in spec.foreign_keys:
+                table.create_index(column, kind)
+        db.load(name, generate_table(name, dss_scale, seed))
+    populate_oltp(db, warehouses, seed=seed + 1)
+    return db
+
+
+@dataclass
+class OLTPWorkload:
+    """Combined setup: one image, a DSS training trace, an OLTP test trace."""
+
+    db: Database
+    model: KernelModel
+    dss_training_trace: BlockTrace
+    oltp_trace: BlockTrace
+
+    @classmethod
+    def build(
+        cls,
+        dss_scale: float = 0.002,
+        warehouses: int = 2,
+        n_transactions: int = 400,
+        *,
+        seed: int = 7,
+        kernel_seed: int = 2029,
+        cold: ColdCodeConfig | None = None,
+    ) -> "OLTPWorkload":
+        db = build_combined_database(dss_scale, warehouses, seed=seed)
+        model = db.kernel_model(seed=kernel_seed, cold=cold)
+        dss_trace = capture_trace(db, model, TRAINING_QUERIES, ("btree",))
+        tracer = model.tracer()
+        with tracer:
+            run_mix(db, n_transactions, warehouses=warehouses, seed=seed + 2)
+        oltp_trace = tracer.take_trace()
+        return cls(db=db, model=model, dss_training_trace=dss_trace, oltp_trace=oltp_trace)
+
+    @property
+    def program(self):
+        return self.model.program

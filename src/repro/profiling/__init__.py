@@ -1,0 +1,31 @@
+"""Dynamic-trace capture and workload characterization.
+
+Implements the paper's Section 4 analyses: basic-block execution counts and
+transitions (the weighted CFG of Section 5), reference-locality curves
+(Figure 2, Table 1) and control-flow determinism (Table 2).
+"""
+
+from repro.profiling.trace import SEPARATOR, BlockTrace
+from repro.profiling.profiler import profile_trace
+from repro.profiling.locality import (
+    cumulative_reference_curve,
+    blocks_for_coverage,
+    hottest_blocks_for_coverage,
+    reuse_distances,
+    fraction_reexecuted_within,
+)
+from repro.profiling.determinism import BlockKindMix, kind_mix, transition_determinism
+
+__all__ = [
+    "SEPARATOR",
+    "BlockTrace",
+    "profile_trace",
+    "cumulative_reference_curve",
+    "blocks_for_coverage",
+    "hottest_blocks_for_coverage",
+    "reuse_distances",
+    "fraction_reexecuted_within",
+    "BlockKindMix",
+    "kind_mix",
+    "transition_determinism",
+]

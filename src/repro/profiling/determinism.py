@@ -1,0 +1,116 @@
+"""Control-flow determinism analysis (paper Section 4.2, Table 2).
+
+Basic blocks are classified by how they end (:class:`~repro.cfg.BlockKind`);
+for each kind the static share, the dynamic (execution-weighted) share, and
+the fraction of dynamic executions whose next block is "fixed" are reported.
+
+Following the paper, fall-through blocks always continue at the next block,
+and call/return blocks "usually have a fixed target", so they count as
+predictable; a branch block is predictable when it behaves in a fixed way —
+its dominant successor is taken with probability at least
+``fixed_threshold``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cfg.blocks import BlockKind
+from repro.cfg.program import Program
+from repro.cfg.weighted import WeightedCFG
+
+__all__ = ["BlockKindMix", "kind_mix", "transition_determinism"]
+
+
+@dataclass(frozen=True)
+class BlockKindMix:
+    """Per-kind shares for Table 2 (values are fractions in ``[0, 1]``)."""
+
+    static: dict[BlockKind, float]
+    dynamic: dict[BlockKind, float]
+    predictable: dict[BlockKind, float]
+
+    @property
+    def overall_predictable(self) -> float:
+        """Fraction of all dynamic block executions with a fixed next block."""
+        return sum(self.dynamic[k] * self.predictable[k] for k in BlockKind)
+
+
+def kind_mix(
+    program: Program,
+    cfg: WeightedCFG,
+    *,
+    fixed_threshold: float = 0.95,
+    executed_only: bool = True,
+) -> BlockKindMix:
+    """Compute the Table 2 statistics from a profile.
+
+    ``executed_only`` restricts the static mix to blocks that were executed
+    at least once, matching the paper's methodology (its static column sums
+    the *executed* binary's blocks; never-executed code has no observable
+    behaviour to classify).
+    """
+    kinds = program.block_kind
+    counts = cfg.block_count
+    if executed_only:
+        mask = counts > 0
+    else:
+        mask = np.ones(program.n_blocks, dtype=bool)
+
+    static_total = int(mask.sum())
+    dynamic_total = int(counts[mask].sum())
+
+    static: dict[BlockKind, float] = {}
+    dynamic: dict[BlockKind, float] = {}
+    predictable: dict[BlockKind, float] = {}
+    for kind in BlockKind:
+        sel = mask & (kinds == kind)
+        static[kind] = float(sel.sum() / static_total) if static_total else 0.0
+        kind_dynamic = int(counts[sel].sum())
+        dynamic[kind] = float(kind_dynamic / dynamic_total) if dynamic_total else 0.0
+        if kind == BlockKind.BRANCH:
+            predictable[kind] = _fixed_branch_fraction(cfg, np.flatnonzero(sel), fixed_threshold)
+        else:
+            # Fall-through blocks always continue sequentially; calls and
+            # returns have fixed targets per call site (paper Section 4.2).
+            predictable[kind] = 1.0 if kind_dynamic else 0.0
+    return BlockKindMix(static=static, dynamic=dynamic, predictable=predictable)
+
+
+def _fixed_branch_fraction(cfg: WeightedCFG, branch_blocks: np.ndarray, threshold: float) -> float:
+    """Execution-weighted fraction of branch blocks that behave in a fixed way."""
+    fixed = 0
+    total = 0
+    for block in branch_blocks:
+        block = int(block)
+        executions = int(cfg.block_count[block])
+        if executions == 0:
+            continue
+        total += executions
+        top = cfg.hottest_successor(block)
+        out = cfg.out_weight(block)
+        if top is not None and out and top[1] / out >= threshold:
+            fixed += executions
+    return fixed / total if total else 0.0
+
+
+def transition_determinism(cfg: WeightedCFG, *, threshold: float = 0.95) -> float:
+    """Fraction of dynamic transitions leaving blocks with a dominant successor.
+
+    This is the paper's summary claim "overall, 80 % of the basic block
+    transitions are predictable" computed directly over all executed blocks.
+    """
+    fixed = 0
+    total = 0
+    for block in cfg.executed_blocks():
+        block = int(block)
+        out = cfg.out_weight(block)
+        if out == 0:
+            continue
+        total += out
+        top = cfg.hottest_successor(block)
+        if top is not None and top[1] / out >= threshold:
+            fixed += out
+    return fixed / total if total else 0.0

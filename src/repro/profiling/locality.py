@@ -1,0 +1,92 @@
+"""Reference-locality analyses (paper Section 4.1, Figure 2).
+
+Two views of locality:
+
+* *Concentration*: how many static basic blocks capture a given fraction of
+  the dynamic references (Figure 2: the 1000 most popular blocks capture
+  ~90 %, 2500 capture ~99 %).
+* *Temporal locality*: the number of instructions executed between two
+  consecutive invocations of the same basic block (the paper reports that
+  the blocks concentrating 75 % of references have a 33 % probability of
+  re-execution within 250 instructions and 19 % within 100).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profiling.trace import BlockTrace
+
+__all__ = [
+    "cumulative_reference_curve",
+    "blocks_for_coverage",
+    "hottest_blocks_for_coverage",
+    "reuse_distances",
+    "fraction_reexecuted_within",
+]
+
+
+def cumulative_reference_curve(block_count: np.ndarray) -> np.ndarray:
+    """Cumulative fraction of dynamic references vs. number of static blocks.
+
+    Element ``i`` is the fraction of all references captured by the ``i+1``
+    most popular blocks. Blocks with zero count are excluded (they capture
+    nothing and would only flatten the tail).
+    """
+    counts = np.sort(block_count[block_count > 0])[::-1].astype(np.float64)
+    total = counts.sum()
+    if total == 0:
+        return np.empty(0, dtype=np.float64)
+    return np.cumsum(counts) / total
+
+
+def blocks_for_coverage(block_count: np.ndarray, fraction: float) -> int:
+    """Smallest number of most-popular blocks capturing ``fraction`` of references."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    curve = cumulative_reference_curve(block_count)
+    if curve.size == 0:
+        return 0
+    return int(np.searchsorted(curve, fraction - 1e-12) + 1)
+
+
+def hottest_blocks_for_coverage(block_count: np.ndarray, fraction: float) -> np.ndarray:
+    """Ids of the most-popular blocks that together capture ``fraction`` of references."""
+    n = blocks_for_coverage(block_count, fraction)
+    order = np.argsort(block_count, kind="stable")[::-1]
+    return order[:n]
+
+
+def reuse_distances(
+    trace: BlockTrace,
+    block_size: np.ndarray,
+    subset: np.ndarray | None = None,
+) -> np.ndarray:
+    """Instruction distances between consecutive executions of the same block.
+
+    Returns one distance per re-execution event (not per block). When
+    ``subset`` is given, only re-executions of those blocks are reported.
+    Vectorized: events are grouped per block with a stable argsort, and
+    distances are differences of instruction positions within each group.
+    """
+    ids = trace.block_ids()
+    if ids.size < 2:
+        return np.empty(0, dtype=np.int64)
+    pos = trace.instruction_positions(block_size)
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    sorted_pos = pos[order]
+    same = sorted_ids[1:] == sorted_ids[:-1]
+    gaps = sorted_pos[1:] - sorted_pos[:-1]
+    if subset is not None:
+        keep = np.zeros(int(block_size.shape[0]), dtype=bool)
+        keep[np.asarray(subset)] = True
+        same = same & keep[sorted_ids[1:]]
+    return gaps[same]
+
+
+def fraction_reexecuted_within(distances: np.ndarray, limit: int) -> float:
+    """Fraction of re-executions occurring within ``limit`` instructions."""
+    if distances.size == 0:
+        return 0.0
+    return float((distances < limit).mean())

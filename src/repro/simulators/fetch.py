@@ -1,0 +1,203 @@
+"""SEQ.3 sequential fetch unit (Rotenberg et al.), paper Section 7.1.
+
+Each fetch accesses two consecutive cache lines and supplies instructions
+from the fetch address up to the first *taken* branch, up to three branches
+of any kind (conditional, unconditional, calls, returns — Section 7.3), up
+to 16 instructions, or up to the end of the two lines, whichever comes
+first. Branch prediction is perfect.
+
+The simulation is layout-dependent but cache-independent: it produces the
+fetch count and the line-access stream once per layout; cache organizations
+are then evaluated vectorized over that stream
+(:func:`repro.simulators.icache.count_misses`).
+
+Implementation: the trace is expanded to instruction-level NumPy arrays in
+bounded chunks (memory stays flat for arbitrarily long traces). For every
+instruction position the fetch length is computed vectorized; the actual
+fetch boundaries are then the orbit of position 0 under ``p -> p + n[p]``,
+a cheap scalar walk.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cfg.blocks import INSTR_BYTES, BlockKind
+from repro.cfg.layout import Layout
+from repro.cfg.program import Program
+from repro.profiling.trace import SEPARATOR, BlockTrace
+
+__all__ = ["FetchResult", "simulate_fetch", "MISS_PENALTY_CYCLES", "instruction_chunks"]
+
+#: Fixed i-cache miss penalty (paper Table 4).
+MISS_PENALTY_CYCLES = 5
+
+#: SEQ.3 limits.
+FETCH_WIDTH = 16
+BRANCH_LIMIT = 3
+
+_DEFAULT_CHUNK_EVENTS = 2_000_000
+
+
+@dataclass
+class FetchResult:
+    """Per-layout fetch simulation output (cache-independent)."""
+
+    layout_name: str
+    n_instructions: int
+    n_fetches: int
+    n_taken: int
+    #: cache-line numbers accessed, 2 per fetch, chunked
+    line_chunks: list[np.ndarray]
+
+    @property
+    def ideal_ipc(self) -> float:
+        """Fetch bandwidth with a perfect i-cache."""
+        return self.n_instructions / self.n_fetches if self.n_fetches else 0.0
+
+    @property
+    def instructions_between_taken(self) -> float:
+        return self.n_instructions / self.n_taken if self.n_taken else float("inf")
+
+
+@dataclass
+class _Chunk:
+    """Instruction-level arrays for a span of trace events."""
+
+    addr: np.ndarray  # int64 byte address per instruction
+    is_branch: np.ndarray  # bool: last instruction of a branch/call/return block
+    is_taken: np.ndarray  # bool: branch whose successor is non-sequential
+    last: bool  # final chunk of the trace
+
+
+def instruction_chunks(
+    trace: BlockTrace,
+    program: Program,
+    layout: Layout,
+    chunk_events: int = _DEFAULT_CHUNK_EVENTS,
+) -> Iterator[_Chunk]:
+    """Expand the block trace into per-instruction arrays, chunk by chunk.
+
+    Run separators force a taken branch on the preceding instruction (two
+    profiled runs never fall through into each other).
+    """
+    events = trace.events
+    n_events = events.shape[0]
+    sizes = program.block_size.astype(np.int64)
+    kinds = program.block_kind
+    branchy = (kinds == BlockKind.BRANCH) | (kinds == BlockKind.CALL) | (kinds == BlockKind.RETURN)
+    addresses = layout.address
+
+    start = 0
+    while start < n_events:
+        end = min(start + chunk_events, n_events)
+        ev = events[start:end]
+        valid_idx = np.flatnonzero(ev != SEPARATOR)
+        if valid_idx.size == 0:
+            start = end
+            continue
+        ids = ev[valid_idx].astype(np.int64)
+        ev_size = sizes[ids]
+        ev_addr = addresses[ids]
+        ev_end = ev_addr + ev_size * INSTR_BYTES
+        # a transition is sequential when the next block starts exactly where
+        # this one ends, with no run separator in between
+        seq = np.zeros(ids.shape[0], dtype=bool)
+        if ids.shape[0] > 1:
+            seq[:-1] = (ev_addr[1:] == ev_end[:-1]) & ((valid_idx[1:] - valid_idx[:-1]) == 1)
+        if end < n_events and int(events[end]) != SEPARATOR:
+            seq[-1] = int(addresses[int(events[end])]) == int(ev_end[-1])
+
+        total = int(ev_size.sum())
+        block_start = np.cumsum(ev_size) - ev_size
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(block_start, ev_size)
+        addr = np.repeat(ev_addr, ev_size) + offsets * INSTR_BYTES
+        last_of_block = np.zeros(total, dtype=bool)
+        last_of_block[np.cumsum(ev_size) - 1] = True
+        is_branch = last_of_block & np.repeat(branchy[ids], ev_size)
+        # any non-sequential transition behaves as a taken branch — including
+        # a fall-through whose successor the layout moved away (the layout
+        # step would insert an unconditional jump there)
+        non_seq = last_of_block & np.repeat(~seq, ev_size)
+        yield _Chunk(addr=addr, is_branch=is_branch | non_seq, is_taken=non_seq, last=end >= n_events)
+        start = end
+
+
+def _fetch_lengths(chunk: _Chunk, line_instrs: int) -> np.ndarray:
+    """Vectorized SEQ.3 fetch length from every instruction position."""
+    n = chunk.addr.shape[0]
+    idx = np.arange(n, dtype=np.int64)
+
+    # distance to the next taken branch (inclusive)
+    taken_pos = np.flatnonzero(chunk.is_taken)
+    next_taken = np.full(n, n - 1, dtype=np.int64)
+    if taken_pos.size:
+        j = np.searchsorted(taken_pos, idx, side="left")
+        j = np.minimum(j, taken_pos.size - 1)
+        nt = taken_pos[j]
+        nt[idx > taken_pos[-1]] = n - 1  # tail past the last taken branch
+        next_taken = nt
+    until_taken = next_taken - idx + 1
+
+    # distance to the third branch (inclusive)
+    branch_pos = np.flatnonzero(chunk.is_branch)
+    until_third = np.full(n, n, dtype=np.int64)
+    if branch_pos.size:
+        j = np.searchsorted(branch_pos, idx, side="left")
+        third = j + BRANCH_LIMIT - 1
+        has_third = third < branch_pos.size
+        until_third[has_third] = branch_pos[third[has_third]] - idx[has_third] + 1
+
+    # two consecutive cache lines from the fetch address
+    cap = 2 * line_instrs - (chunk.addr // INSTR_BYTES) % line_instrs
+
+    length = np.minimum(np.minimum(until_taken, until_third), np.minimum(cap, FETCH_WIDTH))
+    return np.maximum(length, 1)
+
+
+def simulate_fetch(
+    trace: BlockTrace,
+    program: Program,
+    layout: Layout,
+    *,
+    line_bytes: int = 32,
+    chunk_events: int = _DEFAULT_CHUNK_EVENTS,
+) -> FetchResult:
+    """Run the SEQ.3 fetch unit over a trace under a layout."""
+    line_instrs = line_bytes // INSTR_BYTES
+    n_instructions = 0
+    n_fetches = 0
+    n_taken = 0
+    line_chunks: list[np.ndarray] = []
+
+    for chunk in instruction_chunks(trace, program, layout, chunk_events):
+        n = chunk.addr.shape[0]
+        n_instructions += n
+        n_taken += int(chunk.is_taken.sum())
+        lengths = _fetch_lengths(chunk, line_instrs)
+        # orbit of 0 under p -> p + lengths[p]
+        length_list = lengths.tolist()
+        starts: list[int] = []
+        p = 0
+        append = starts.append
+        while p < n:
+            append(p)
+            p += length_list[p]
+        n_fetches += len(starts)
+        start_arr = np.asarray(starts, dtype=np.int64)
+        first_line = chunk.addr[start_arr] // line_bytes
+        lines = np.empty(2 * start_arr.shape[0], dtype=np.int64)
+        lines[0::2] = first_line
+        lines[1::2] = first_line + 1
+        line_chunks.append(lines)
+
+    return FetchResult(
+        layout_name=layout.name,
+        n_instructions=n_instructions,
+        n_fetches=n_fetches,
+        n_taken=n_taken,
+        line_chunks=line_chunks,
+    )

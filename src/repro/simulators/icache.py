@@ -1,0 +1,136 @@
+"""Instruction cache models (paper Table 3's cache column variants).
+
+Input is a stream of cache-line numbers (from the fetch unit), supplied as
+one array or a list of chunk arrays. Three organizations:
+
+* direct-mapped — fully vectorized (stable argsort groups accesses by set;
+  a miss is a tag change within the group);
+* 2-way set associative, LRU — vectorized via the run-compression identity:
+  within one set's access stream with consecutive duplicates removed, the
+  cache holds exactly the previous two distinct lines, so access ``j`` hits
+  iff it equals the compressed stream's entry ``j-2``;
+* direct-mapped + fully associative victim cache (16 lines) — stateful
+  swap behaviour, simulated with an explicit loop over the line stream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheConfig", "count_misses", "simulate_victim_cache"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """An i-cache organization (sizes in bytes)."""
+
+    size_bytes: int
+    line_bytes: int = 32
+    associativity: int = 1
+    victim_lines: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError("cache size must be a multiple of line size x associativity")
+        if self.associativity not in (1, 2):
+            raise ValueError("only direct-mapped and 2-way caches are modeled (as in the paper)")
+        if self.victim_lines and self.associativity != 1:
+            raise ValueError("the victim cache augments a direct-mapped cache")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+def _as_chunks(lines) -> list[np.ndarray]:
+    if isinstance(lines, np.ndarray):
+        return [lines]
+    return list(lines)
+
+
+def count_misses(lines: np.ndarray | Sequence[np.ndarray], config: CacheConfig) -> int:
+    """Cold-start miss count of the line stream under ``config``."""
+    chunks = _as_chunks(lines)
+    if not chunks:
+        return 0
+    stream = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+    if stream.size == 0:
+        return 0
+    if config.victim_lines:
+        return simulate_victim_cache(stream, config)
+    if config.associativity == 1:
+        return _direct_mapped(stream, config.n_sets)
+    return _two_way_lru(stream, config.n_sets)
+
+
+def _direct_mapped(lines: np.ndarray, n_sets: int) -> int:
+    sets = lines % n_sets
+    order = np.argsort(sets, kind="stable")
+    sorted_sets = sets[order]
+    sorted_lines = lines[order]
+    miss = np.empty(lines.shape[0], dtype=bool)
+    miss[0] = True
+    miss[1:] = (sorted_sets[1:] != sorted_sets[:-1]) | (sorted_lines[1:] != sorted_lines[:-1])
+    return int(miss.sum())
+
+
+def _two_way_lru(lines: np.ndarray, n_sets: int) -> int:
+    sets = lines % n_sets
+    order = np.argsort(sets, kind="stable")
+    sorted_sets = sets[order]
+    sorted_lines = lines[order]
+    # compress consecutive duplicates within each set's stream: those are
+    # guaranteed hits (the line is MRU); only distinct transitions can miss
+    keep = np.empty(lines.shape[0], dtype=bool)
+    keep[0] = True
+    keep[1:] = (sorted_sets[1:] != sorted_sets[:-1]) | (sorted_lines[1:] != sorted_lines[:-1])
+    c_sets = sorted_sets[keep]
+    c_lines = sorted_lines[keep]
+    n = c_lines.shape[0]
+    miss = np.ones(n, dtype=bool)  # first and second distinct accesses miss
+    if n > 2:
+        same_set = c_sets[2:] == c_sets[:-2]
+        # entry j hits iff it equals entry j-2 of the same set's stream
+        # (entry j-1 differs by construction, so {j-1, j-2} is the set state)
+        miss[2:] = ~(same_set & (c_lines[2:] == c_lines[:-2]))
+    return int(miss.sum())
+
+
+def simulate_victim_cache(lines: np.ndarray, config: CacheConfig) -> int:
+    """Direct-mapped cache with a fully associative LRU victim buffer.
+
+    On a primary miss that hits the victim buffer, the lines swap (the
+    victim's line moves into the primary slot, the evicted primary line
+    into the buffer) and the access counts as a hit, as in Jouppi's design.
+    """
+    from collections import OrderedDict
+
+    n_sets = config.n_sets
+    primary = np.full(n_sets, -1, dtype=np.int64)
+    victim: OrderedDict[int, None] = OrderedDict()
+    capacity = config.victim_lines
+    misses = 0
+    for line in lines.tolist():
+        s = line % n_sets
+        resident = primary[s]
+        if resident == line:
+            continue
+        if line in victim:
+            del victim[line]
+            if resident >= 0:
+                victim[resident] = None
+                while len(victim) > capacity:
+                    victim.popitem(last=False)
+            primary[s] = line
+            continue
+        misses += 1
+        if resident >= 0:
+            victim[resident] = None
+            victim.move_to_end(resident)
+            while len(victim) > capacity:
+                victim.popitem(last=False)
+        primary[s] = line
+    return misses

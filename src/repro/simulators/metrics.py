@@ -1,0 +1,40 @@
+"""Derived metrics for Tables 3 and 4."""
+
+from __future__ import annotations
+
+from repro.simulators.fetch import MISS_PENALTY_CYCLES, FetchResult
+from repro.simulators.icache import CacheConfig, count_misses
+
+__all__ = [
+    "miss_rate_percent",
+    "fetch_bandwidth",
+    "ideal_fetch_bandwidth",
+    "instructions_between_taken_branches",
+]
+
+
+def miss_rate_percent(result: FetchResult, config: CacheConfig) -> float:
+    """I-cache misses per instruction executed, in percent (Table 3)."""
+    if result.n_instructions == 0:
+        return 0.0
+    misses = count_misses(result.line_chunks, config)
+    return 100.0 * misses / result.n_instructions
+
+
+def fetch_bandwidth(result: FetchResult, config: CacheConfig) -> float:
+    """Instructions per cycle with the fixed 5-cycle miss penalty (Table 4)."""
+    if result.n_fetches == 0:
+        return 0.0
+    misses = count_misses(result.line_chunks, config)
+    cycles = result.n_fetches + MISS_PENALTY_CYCLES * misses
+    return result.n_instructions / cycles
+
+
+def ideal_fetch_bandwidth(result: FetchResult) -> float:
+    """Fetch bandwidth with a perfect i-cache (Table 4's Ideal row)."""
+    return result.ideal_ipc
+
+
+def instructions_between_taken_branches(result: FetchResult) -> float:
+    """Average run length between taken branches (Section 8: 8.9 -> 22.4)."""
+    return result.instructions_between_taken

@@ -1,0 +1,35 @@
+"""TPC-D workload: schema, data generator, the 17 read-only queries, and
+the paper's Training/Test workload definitions (Sections 3, 4 and 7).
+
+"The TPC-D benchmark is just a data set and the queries on this data; it is
+not an executable" (paper, Section 2.3) — accordingly this package only
+*describes* data and plans; execution happens in minidb.
+"""
+
+from repro.tpcd.dates import date, year_of
+from repro.tpcd.schema import TPCD_TABLES, table_cardinality
+from repro.tpcd.dbgen import generate_table, populate
+from repro.tpcd.queries import QUERIES, build_query
+from repro.tpcd.workload import (
+    TRAINING_QUERIES,
+    TEST_QUERIES,
+    build_database,
+    capture_trace,
+    Workload,
+)
+
+__all__ = [
+    "date",
+    "year_of",
+    "TPCD_TABLES",
+    "table_cardinality",
+    "generate_table",
+    "populate",
+    "QUERIES",
+    "build_query",
+    "TRAINING_QUERIES",
+    "TEST_QUERIES",
+    "build_database",
+    "capture_trace",
+    "Workload",
+]

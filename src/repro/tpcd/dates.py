@@ -1,0 +1,31 @@
+"""The synthetic TPC-D calendar.
+
+Dates are stored as integer day numbers in a fixed 365-day calendar (no
+leap years) starting 1992-01-01 = day 0. This keeps year extraction an
+exact integer division — queries that group by year (Q7-Q9) rely on it —
+while preserving the benchmark's date arithmetic (intervals in days).
+"""
+
+from __future__ import annotations
+
+__all__ = ["date", "year_of", "START_YEAR", "DAYS_PER_YEAR"]
+
+START_YEAR = 1992
+DAYS_PER_YEAR = 365
+
+_MONTH_DAYS = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+_MONTH_START = tuple(sum(_MONTH_DAYS[:m]) for m in range(12))
+
+
+def date(year: int, month: int, day: int) -> int:
+    """Day number of a calendar date (1992-01-01 -> 0)."""
+    if not 1 <= month <= 12:
+        raise ValueError(f"month out of range: {month}")
+    if not 1 <= day <= _MONTH_DAYS[month - 1]:
+        raise ValueError(f"day out of range: {year}-{month}-{day}")
+    return (year - START_YEAR) * DAYS_PER_YEAR + _MONTH_START[month - 1] + (day - 1)
+
+
+def year_of(daynum: int) -> int:
+    """Calendar year of a day number (exact in the 365-day calendar)."""
+    return START_YEAR + daynum // DAYS_PER_YEAR

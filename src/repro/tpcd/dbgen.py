@@ -1,0 +1,270 @@
+"""Deterministic TPC-D data generator (a compact dbgen).
+
+Generates rows with the value distributions the 17 queries depend on
+(market segments, order priorities, ship modes, part types/brands/
+containers, date ranges and correlations). All randomness flows from named
+streams of the root seed, so every scale factor reproduces bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.tpcd.dates import DAYS_PER_YEAR, date
+from repro.tpcd.schema import TPCD_TABLES
+from repro.util.rng import stream
+
+__all__ = [
+    "generate_table",
+    "populate",
+    "REGIONS",
+    "NATIONS",
+    "SEGMENTS",
+    "PRIORITIES",
+    "SHIPMODES",
+    "TYPE_SYLLABLES",
+    "CONTAINERS",
+    "P_NAME_WORDS",
+]
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+#: (name, region index) — the 25 TPC-D nations.
+NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+)
+
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
+PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+SHIPMODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+SHIPINSTRUCT = ("DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN")
+
+TYPE_SYLLABLES = (
+    ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"),
+    ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"),
+    ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER"),
+)
+CONTAINERS = tuple(
+    f"{a} {b}"
+    for a in ("SM", "LG", "MED", "JUMBO", "WRAP")
+    for b in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+)
+P_NAME_WORDS = (
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "chartreuse", "chiffon",
+    "chocolate", "coral", "cornflower", "cream", "cyan", "dark", "dim", "drab",
+    "firebrick", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+    "green", "grey", "honeydew", "hot", "indian", "ivory", "khaki", "lace",
+    "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon",
+    "medium", "metallic", "midnight", "mint", "misty", "moccasin", "navajo",
+    "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru",
+    "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy",
+    "royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky", "slate",
+    "smoke", "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise",
+    "violet", "wheat", "white", "yellow",
+)
+_COMMENT_WORDS = (
+    "carefully", "quickly", "slyly", "furiously", "blithely", "deposits",
+    "requests", "accounts", "packages", "instructions", "foxes", "pearls",
+    "ideas", "theodolites", "pinto", "beans", "asymptotes", "dependencies",
+    "Customer", "Complaints", "Recommends", "final", "express", "regular",
+    "special", "bold", "even", "silent", "unusual", "pending",
+)
+
+_ORDER_DATE_MIN = date(1992, 1, 1)
+_ORDER_DATE_MAX = date(1998, 8, 2)  # leaves room for ship/receipt offsets
+
+
+def _comment(rng: np.random.Generator, n_words: int = 4) -> str:
+    words = rng.choice(len(_COMMENT_WORDS), size=n_words)
+    return " ".join(_COMMENT_WORDS[w] for w in words)
+
+
+def _phone(rng: np.random.Generator, nationkey: int) -> str:
+    return f"{10 + nationkey}-{rng.integers(100, 1000)}-{rng.integers(100, 1000)}-{rng.integers(1000, 10000)}"
+
+
+def generate_table(name: str, scale: float, seed: int = 7) -> Iterator[tuple]:
+    """Yield all rows of a TPC-D table at the given scale factor."""
+    gen = _GENERATORS.get(name)
+    if gen is None:
+        raise ValueError(f"unknown TPC-D table {name!r}")
+    return gen(scale, seed)
+
+
+def _gen_region(scale: float, seed: int) -> Iterator[tuple]:
+    rng = stream(seed, "dbgen", "region")
+    for i, rname in enumerate(REGIONS):
+        yield (i, rname, _comment(rng))
+
+
+def _gen_nation(scale: float, seed: int) -> Iterator[tuple]:
+    rng = stream(seed, "dbgen", "nation")
+    for i, (nname, region) in enumerate(NATIONS):
+        yield (i, nname, region, _comment(rng))
+
+
+def _gen_supplier(scale: float, seed: int) -> Iterator[tuple]:
+    rng = stream(seed, "dbgen", "supplier")
+    n = TPCD_TABLES["supplier"].rows_at(scale)
+    for key in range(1, n + 1):
+        nation = int(rng.integers(0, len(NATIONS)))
+        comment = _comment(rng)
+        if rng.random() < 0.005:  # Q16's complaint filter needs these
+            comment = "Customer Complaints " + comment
+        yield (
+            key,
+            f"Supplier#{key:09d}",
+            _comment(rng, 2),
+            nation,
+            _phone(rng, nation),
+            round(float(rng.uniform(-999.99, 9999.99)), 2),
+            comment,
+        )
+
+
+def _gen_customer(scale: float, seed: int) -> Iterator[tuple]:
+    rng = stream(seed, "dbgen", "customer")
+    n = TPCD_TABLES["customer"].rows_at(scale)
+    for key in range(1, n + 1):
+        nation = int(rng.integers(0, len(NATIONS)))
+        yield (
+            key,
+            f"Customer#{key:09d}",
+            _comment(rng, 2),
+            nation,
+            _phone(rng, nation),
+            round(float(rng.uniform(-999.99, 9999.99)), 2),
+            SEGMENTS[int(rng.integers(0, len(SEGMENTS)))],
+            _comment(rng),
+        )
+
+
+def _gen_part(scale: float, seed: int) -> Iterator[tuple]:
+    rng = stream(seed, "dbgen", "part")
+    n = TPCD_TABLES["part"].rows_at(scale)
+    for key in range(1, n + 1):
+        t1, t2, t3 = (TYPE_SYLLABLES[i][int(rng.integers(0, len(TYPE_SYLLABLES[i])))] for i in range(3))
+        mfgr = int(rng.integers(1, 6))
+        brand = mfgr * 10 + int(rng.integers(1, 6))
+        words = rng.choice(len(P_NAME_WORDS), size=5, replace=False)
+        yield (
+            key,
+            " ".join(P_NAME_WORDS[w] for w in words),
+            f"Manufacturer#{mfgr}",
+            f"Brand#{brand}",
+            f"{t1} {t2} {t3}",
+            int(rng.integers(1, 51)),
+            CONTAINERS[int(rng.integers(0, len(CONTAINERS)))],
+            round(90000 + (key / 10) % 20001 + 100 * (key % 1000), 2) / 100,
+            _comment(rng, 2),
+        )
+
+
+def _gen_partsupp(scale: float, seed: int) -> Iterator[tuple]:
+    rng = stream(seed, "dbgen", "partsupp")
+    n_parts = TPCD_TABLES["part"].rows_at(scale)
+    n_supp = TPCD_TABLES["supplier"].rows_at(scale)
+    # 4 suppliers per part, as in dbgen
+    for partkey in range(1, n_parts + 1):
+        for j in range(4):
+            suppkey = 1 + (partkey + j * max(1, n_supp // 4)) % n_supp
+            yield (
+                partkey,
+                suppkey,
+                int(rng.integers(1, 10000)),
+                round(float(rng.uniform(1.0, 1000.0)), 2),
+                _comment(rng),
+            )
+
+
+def _order_dates(scale: float, seed: int) -> np.ndarray:
+    """Order dates, index 0 = orderkey 1 — shared by orders and lineitem so
+    l_shipdate correlates with o_orderdate exactly as dbgen's does."""
+    n = TPCD_TABLES["orders"].rows_at(scale)
+    return stream(seed, "dbgen", "odates").integers(_ORDER_DATE_MIN, _ORDER_DATE_MAX + 1, size=n)
+
+
+def _gen_orders(scale: float, seed: int) -> Iterator[tuple]:
+    rng = stream(seed, "dbgen", "orders")
+    odates = _order_dates(scale, seed)
+    n = TPCD_TABLES["orders"].rows_at(scale)
+    n_cust = TPCD_TABLES["customer"].rows_at(scale)
+    for key in range(1, n + 1):
+        yield (
+            key,
+            1 + int(rng.integers(0, n_cust)),
+            "FOP"[int(rng.integers(0, 3))],
+            round(float(rng.uniform(1000.0, 450000.0)), 2),
+            int(odates[key - 1]),
+            PRIORITIES[int(rng.integers(0, len(PRIORITIES)))],
+            f"Clerk#{int(rng.integers(1, 1001)):09d}",
+            0,
+            _comment(rng),
+        )
+
+
+def _gen_lineitem(scale: float, seed: int) -> Iterator[tuple]:
+    """Line items are generated per order (1..7 lines, avg ~4, as in dbgen)."""
+    rng = stream(seed, "dbgen", "lineitem")
+    odates = _order_dates(scale, seed)
+    n_orders = TPCD_TABLES["orders"].rows_at(scale)
+    n_parts = TPCD_TABLES["part"].rows_at(scale)
+    n_supp = TPCD_TABLES["supplier"].rows_at(scale)
+    for orderkey in range(1, n_orders + 1):
+        odate = int(odates[orderkey - 1])
+        n_lines = 1 + int(rng.integers(0, 7))
+        for lineno in range(1, n_lines + 1):
+            partkey = 1 + int(rng.integers(0, n_parts))
+            quantity = float(rng.integers(1, 51))
+            extprice = round(quantity * float(rng.uniform(900.0, 1100.0)), 2)
+            shipdate = odate + 1 + int(rng.integers(0, 121))
+            commitdate = odate + 30 + int(rng.integers(0, 61))
+            receiptdate = shipdate + 1 + int(rng.integers(0, 30))
+            returnflag = ("R" if rng.random() < 0.5 else "A") if receiptdate <= date(1995, 6, 17) else "N"
+            yield (
+                orderkey,
+                partkey,
+                1 + (partkey + int(rng.integers(0, 4)) * max(1, n_supp // 4)) % n_supp,
+                lineno,
+                quantity,
+                extprice,
+                round(float(rng.integers(0, 11)) / 100.0, 2),
+                round(float(rng.integers(0, 9)) / 100.0, 2),
+                returnflag,
+                "F" if shipdate <= date(1995, 6, 17) else "O",
+                shipdate,
+                commitdate,
+                receiptdate,
+                SHIPINSTRUCT[int(rng.integers(0, len(SHIPINSTRUCT)))],
+                SHIPMODES[int(rng.integers(0, len(SHIPMODES)))],
+                _comment(rng),
+            )
+
+
+_GENERATORS = {
+    "region": _gen_region,
+    "nation": _gen_nation,
+    "supplier": _gen_supplier,
+    "customer": _gen_customer,
+    "part": _gen_part,
+    "partsupp": _gen_partsupp,
+    "orders": _gen_orders,
+    "lineitem": _gen_lineitem,
+}
+
+
+def populate(db, scale: float, seed: int = 7) -> dict[str, int]:
+    """Create and load all 8 tables into a Database; returns row counts."""
+    counts = {}
+    for name, spec in TPCD_TABLES.items():
+        db.create_table(name, spec.columns)
+        counts[name] = db.load(name, generate_table(name, scale, seed))
+    return counts

@@ -1,0 +1,708 @@
+"""The 17 TPC-D read-only queries as minidb plan trees.
+
+There is no SQL parser (the paper treats parsing/optimization time as
+negligible, Section 2); each query is a hand-built plan in the shape
+PostgreSQL's optimizer produces for it: index nested loops along foreign
+keys where indexes exist, Sort+Group for GROUP BY, hash joins against
+computed sub-results. The ``index_kind`` argument ("btree" or "hash")
+selects the access-path variant, mirroring the paper's two databases.
+
+Queries that SQL expresses with scalar subqueries (Q11, Q15) execute in two
+phases, feeding the first phase's scalar into the second plan — exactly how
+PostgreSQL 6.x evaluated uncorrelated subqueries.
+
+Substitutions (documented per query): minidb has no outer joins, so Q13
+reports the order-count distribution over customers *with* orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+from repro.minidb.engine import Database
+from repro.minidb.executor import (
+    AggSpec,
+    Aggregate,
+    Filter,
+    GroupAggregate,
+    HashJoin,
+    IndexScan,
+    Limit,
+    MergeJoin,
+    NestLoopJoin,
+    PlanNode,
+    Project,
+    Rename,
+    SeqScan,
+    Sort,
+    SortKey,
+    and_,
+    col,
+    const,
+    contains,
+    between,
+    not_,
+    or_,
+    startswith,
+)
+from repro.tpcd.dates import DAYS_PER_YEAR, START_YEAR, date
+
+__all__ = ["QuerySpec", "QUERIES", "build_query", "run_query"]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    qid: int
+    name: str
+    execute: Callable[[Database, str], list]
+
+
+def _nl_eq(outer: PlanNode, inner: IndexScan, outer_col: str, qual=None) -> NestLoopJoin:
+    """Index nested-loop join: rebind the inner's eq key from the outer row."""
+    idx = outer.schema.index_of(outer_col)
+    return NestLoopJoin(outer, inner, bind=lambda row: {"eq": row[idx]}, qual=qual)
+
+
+def _revenue():
+    return col("l_extendedprice") * (const(1.0) - col("l_discount"))
+
+
+def _year(column: str):
+    return const(START_YEAR) + col(column) // DAYS_PER_YEAR
+
+
+def _sorted_group(child: PlanNode, keys: list, groups: list, aggs: list) -> GroupAggregate:
+    """Sort on the group keys, then group-aggregate (PostgreSQL 6.x shape)."""
+    return GroupAggregate(Sort(child, [SortKey(k) for k in keys]), groups, aggs)
+
+
+# -- Q1: pricing summary report ---------------------------------------------
+
+
+def q1(db: Database, ik: str) -> list:
+    cutoff = date(1998, 12, 1) - 90
+    scan = SeqScan(db.table("lineitem"), qual=col("l_shipdate") <= cutoff)
+    disc_price = _revenue()
+    plan = _sorted_group(
+        scan,
+        [col("l_returnflag"), col("l_linestatus")],
+        [(col("l_returnflag"), "l_returnflag"), (col("l_linestatus"), "l_linestatus")],
+        [
+            AggSpec("sum", col("l_quantity"), "sum_qty"),
+            AggSpec("sum", col("l_extendedprice"), "sum_base_price"),
+            AggSpec("sum", disc_price, "sum_disc_price"),
+            AggSpec("sum", disc_price * (const(1.0) + col("l_tax")), "sum_charge"),
+            AggSpec("avg", col("l_quantity"), "avg_qty"),
+            AggSpec("avg", col("l_extendedprice"), "avg_price"),
+            AggSpec("avg", col("l_discount"), "avg_disc"),
+            AggSpec("count", None, "count_order"),
+        ],
+    )
+    return db.run(plan)
+
+
+# -- Q2: minimum cost supplier -----------------------------------------------
+
+
+def _q2_joined(db: Database, ik: str) -> PlanNode:
+    part = SeqScan(
+        db.table("part"),
+        qual=and_(col("p_size") == 15, contains(col("p_type"), "BRASS")),
+    )
+    j = _nl_eq(part, IndexScan(db.table("partsupp"), "ps_partkey", index_kind=ik), "p_partkey")
+    j = _nl_eq(j, IndexScan(db.table("supplier"), "s_suppkey", index_kind=ik), "ps_suppkey")
+    j = _nl_eq(j, IndexScan(db.table("nation"), "n_nationkey", index_kind=ik), "s_nationkey")
+    j = _nl_eq(
+        j,
+        IndexScan(db.table("region"), "r_regionkey", index_kind=ik, qual=col("r_name") == "EUROPE"),
+        "n_regionkey",
+    )
+    return j
+
+
+def q2(db: Database, ik: str) -> list:
+    mins = _sorted_group(
+        _q2_joined(db, ik),
+        [col("p_partkey")],
+        [(col("p_partkey"), "min_partkey")],
+        [AggSpec("min", col("ps_supplycost"), "min_cost")],
+    )
+    final = HashJoin(
+        _q2_joined(db, ik),
+        mins,
+        col("p_partkey"),
+        col("min_partkey"),
+        qual=col("ps_supplycost") == col("min_cost"),
+    )
+    plan = Limit(
+        Sort(
+            Project(
+                final,
+                [
+                    (col("s_acctbal"), "s_acctbal"),
+                    (col("s_name"), "s_name"),
+                    (col("n_name"), "n_name"),
+                    (col("p_partkey"), "p_partkey"),
+                    (col("p_mfgr"), "p_mfgr"),
+                    (col("s_address"), "s_address"),
+                    (col("s_phone"), "s_phone"),
+                ],
+            ),
+            [
+                SortKey(col("s_acctbal"), descending=True),
+                SortKey(col("n_name")),
+                SortKey(col("s_name")),
+                SortKey(col("p_partkey")),
+            ],
+        ),
+        100,
+    )
+    return db.run(plan)
+
+
+# -- Q3: shipping priority ----------------------------------------------------
+
+
+def q3(db: Database, ik: str) -> list:
+    cut = date(1995, 3, 15)
+    cust = SeqScan(db.table("customer"), qual=col("c_mktsegment") == "BUILDING")
+    j = _nl_eq(
+        cust,
+        IndexScan(db.table("orders"), "o_custkey", index_kind=ik, qual=col("o_orderdate") < cut),
+        "c_custkey",
+    )
+    j = _nl_eq(
+        j,
+        IndexScan(db.table("lineitem"), "l_orderkey", index_kind=ik, qual=col("l_shipdate") > cut),
+        "o_orderkey",
+    )
+    grouped = _sorted_group(
+        j,
+        [col("l_orderkey"), col("o_orderdate"), col("o_shippriority")],
+        [
+            (col("l_orderkey"), "l_orderkey"),
+            (col("o_orderdate"), "o_orderdate"),
+            (col("o_shippriority"), "o_shippriority"),
+        ],
+        [AggSpec("sum", _revenue(), "revenue")],
+    )
+    plan = Limit(
+        Sort(grouped, [SortKey(col("revenue"), descending=True), SortKey(col("o_orderdate"))]),
+        10,
+    )
+    return db.run(plan)
+
+
+# -- Q4: order priority checking ------------------------------------------------
+
+
+def q4(db: Database, ik: str) -> list:
+    lo, hi = date(1993, 7, 1), date(1993, 10, 1)
+    orders = SeqScan(
+        db.table("orders"), qual=and_(col("o_orderdate") >= lo, col("o_orderdate") < hi)
+    )
+    # EXISTS semijoin: the inner index scan is capped at one matching line
+    exists = Limit(
+        IndexScan(
+            db.table("lineitem"),
+            "l_orderkey",
+            index_kind=ik,
+            qual=col("l_commitdate") < col("l_receiptdate"),
+        ),
+        1,
+    )
+    j = _nl_eq(orders, exists, "o_orderkey")
+    plan = _sorted_group(
+        j,
+        [col("o_orderpriority")],
+        [(col("o_orderpriority"), "o_orderpriority")],
+        [AggSpec("count", None, "order_count")],
+    )
+    return db.run(plan)
+
+
+# -- Q5: local supplier volume ---------------------------------------------------
+
+
+def q5(db: Database, ik: str) -> list:
+    lo, hi = date(1994, 1, 1), date(1995, 1, 1)
+    region = SeqScan(db.table("region"), qual=col("r_name") == "ASIA")
+    j = _nl_eq(region, IndexScan(db.table("nation"), "n_regionkey", index_kind=ik), "r_regionkey")
+    j = _nl_eq(j, IndexScan(db.table("customer"), "c_nationkey", index_kind=ik), "n_nationkey")
+    j = _nl_eq(
+        j,
+        IndexScan(
+            db.table("orders"),
+            "o_custkey",
+            index_kind=ik,
+            qual=and_(col("o_orderdate") >= lo, col("o_orderdate") < hi),
+        ),
+        "c_custkey",
+    )
+    j = _nl_eq(j, IndexScan(db.table("lineitem"), "l_orderkey", index_kind=ik), "o_orderkey")
+    # local suppliers only: supplier nation must equal customer nation
+    j = _nl_eq(
+        j,
+        IndexScan(db.table("supplier"), "s_suppkey", index_kind=ik),
+        "l_suppkey",
+        qual=col("s_nationkey") == col("c_nationkey"),
+    )
+    grouped = _sorted_group(
+        j,
+        [col("n_name")],
+        [(col("n_name"), "n_name")],
+        [AggSpec("sum", _revenue(), "revenue")],
+    )
+    return db.run(Sort(grouped, [SortKey(col("revenue"), descending=True)]))
+
+
+# -- Q6: forecasting revenue change ------------------------------------------------
+
+
+def q6(db: Database, ik: str) -> list:
+    lo, hi = date(1994, 1, 1), date(1995, 1, 1)
+    scan = SeqScan(
+        db.table("lineitem"),
+        qual=and_(
+            col("l_shipdate") >= lo,
+            col("l_shipdate") < hi,
+            between(col("l_discount"), 0.05, 0.07),
+            col("l_quantity") < 24.0,
+        ),
+    )
+    plan = Aggregate(scan, [AggSpec("sum", col("l_extendedprice") * col("l_discount"), "revenue")])
+    return db.run(plan)
+
+
+# -- Q7: volume shipping -------------------------------------------------------------
+
+
+def q7(db: Database, ik: str) -> list:
+    lo, hi = date(1995, 1, 1), date(1996, 12, 31)
+    li = SeqScan(
+        db.table("lineitem"), qual=and_(col("l_shipdate") >= lo, col("l_shipdate") <= hi)
+    )
+    j = _nl_eq(li, IndexScan(db.table("supplier"), "s_suppkey", index_kind=ik), "l_suppkey")
+    j = _nl_eq(j, IndexScan(db.table("orders"), "o_orderkey", index_kind=ik), "l_orderkey")
+    j = _nl_eq(j, IndexScan(db.table("customer"), "c_custkey", index_kind=ik), "o_custkey")
+    n1 = Rename(
+        IndexScan(db.table("nation"), "n_nationkey", index_kind=ik),
+        {"n_nationkey": "n1_nationkey", "n_name": "supp_nation", "n_regionkey": "n1_regionkey", "n_comment": "n1_comment"},
+    )
+    j = _nl_eq(j, n1, "s_nationkey")
+    n2 = Rename(
+        IndexScan(db.table("nation"), "n_nationkey", index_kind=ik),
+        {"n_nationkey": "n2_nationkey", "n_name": "cust_nation", "n_regionkey": "n2_regionkey", "n_comment": "n2_comment"},
+    )
+    j = _nl_eq(
+        j,
+        n2,
+        "c_nationkey",
+        qual=or_(
+            and_(col("supp_nation") == "FRANCE", col("cust_nation") == "GERMANY"),
+            and_(col("supp_nation") == "GERMANY", col("cust_nation") == "FRANCE"),
+        ),
+    )
+    plan = _sorted_group(
+        j,
+        [col("supp_nation"), col("cust_nation"), _year("l_shipdate")],
+        [
+            (col("supp_nation"), "supp_nation"),
+            (col("cust_nation"), "cust_nation"),
+            (_year("l_shipdate"), "l_year"),
+        ],
+        [AggSpec("sum", _revenue(), "revenue")],
+    )
+    return db.run(plan)
+
+
+# -- Q8: national market share ----------------------------------------------------------
+
+
+def q8(db: Database, ik: str) -> list:
+    lo, hi = date(1995, 1, 1), date(1996, 12, 31)
+    part = SeqScan(db.table("part"), qual=col("p_type") == "ECONOMY ANODIZED STEEL")
+    j = _nl_eq(part, IndexScan(db.table("lineitem"), "l_partkey", index_kind=ik), "p_partkey")
+    j = _nl_eq(
+        j,
+        IndexScan(
+            db.table("orders"),
+            "o_orderkey",
+            index_kind=ik,
+            qual=and_(col("o_orderdate") >= lo, col("o_orderdate") <= hi),
+        ),
+        "l_orderkey",
+    )
+    j = _nl_eq(j, IndexScan(db.table("customer"), "c_custkey", index_kind=ik), "o_custkey")
+    n1 = Rename(
+        IndexScan(db.table("nation"), "n_nationkey", index_kind=ik),
+        {"n_nationkey": "n1_nationkey", "n_name": "cust_nation", "n_regionkey": "cust_regionkey", "n_comment": "n1_comment"},
+    )
+    j = _nl_eq(j, n1, "c_nationkey")
+    j = _nl_eq(
+        j,
+        IndexScan(db.table("region"), "r_regionkey", index_kind=ik, qual=col("r_name") == "AMERICA"),
+        "cust_regionkey",
+    )
+    j = _nl_eq(j, IndexScan(db.table("supplier"), "s_suppkey", index_kind=ik), "l_suppkey")
+    n2 = Rename(
+        IndexScan(db.table("nation"), "n_nationkey", index_kind=ik),
+        {"n_nationkey": "n2_nationkey", "n_name": "supp_nation", "n_regionkey": "supp_regionkey", "n_comment": "n2_comment"},
+    )
+    j = _nl_eq(j, n2, "s_nationkey")
+    volume = _revenue()
+    grouped = _sorted_group(
+        j,
+        [_year("o_orderdate")],
+        [(_year("o_orderdate"), "o_year")],
+        [
+            AggSpec("sum", (col("supp_nation") == "BRAZIL") * volume, "brazil_volume"),
+            AggSpec("sum", volume, "total_volume"),
+        ],
+    )
+    plan = Project(
+        grouped,
+        [(col("o_year"), "o_year"), (col("brazil_volume") / col("total_volume"), "mkt_share")],
+    )
+    return db.run(plan)
+
+
+# -- Q9: product type profit measure ---------------------------------------------------------
+
+
+def q9(db: Database, ik: str) -> list:
+    part = SeqScan(db.table("part"), qual=contains(col("p_name"), "green"))
+    j = _nl_eq(part, IndexScan(db.table("lineitem"), "l_partkey", index_kind=ik), "p_partkey")
+    j = _nl_eq(j, IndexScan(db.table("supplier"), "s_suppkey", index_kind=ik), "l_suppkey")
+    # composite partsupp key: eq on ps_partkey plus suppkey qualification
+    j = _nl_eq(
+        j,
+        IndexScan(db.table("partsupp"), "ps_partkey", index_kind=ik),
+        "l_partkey",
+        qual=col("ps_suppkey") == col("l_suppkey"),
+    )
+    j = _nl_eq(j, IndexScan(db.table("orders"), "o_orderkey", index_kind=ik), "l_orderkey")
+    j = _nl_eq(j, IndexScan(db.table("nation"), "n_nationkey", index_kind=ik), "s_nationkey")
+    amount = _revenue() - col("ps_supplycost") * col("l_quantity")
+    grouped = _sorted_group(
+        j,
+        [col("n_name"), _year("o_orderdate")],
+        [(col("n_name"), "nation"), (_year("o_orderdate"), "o_year")],
+        [AggSpec("sum", amount, "sum_profit")],
+    )
+    plan = Sort(grouped, [SortKey(col("nation")), SortKey(col("o_year"), descending=True)])
+    return db.run(plan)
+
+
+# -- Q10: returned item reporting ---------------------------------------------------------------
+
+
+def q10(db: Database, ik: str) -> list:
+    lo, hi = date(1993, 10, 1), date(1994, 1, 1)
+    cust = SeqScan(db.table("customer"))
+    j = _nl_eq(
+        cust,
+        IndexScan(
+            db.table("orders"),
+            "o_custkey",
+            index_kind=ik,
+            qual=and_(col("o_orderdate") >= lo, col("o_orderdate") < hi),
+        ),
+        "c_custkey",
+    )
+    j = _nl_eq(
+        j,
+        IndexScan(db.table("lineitem"), "l_orderkey", index_kind=ik, qual=col("l_returnflag") == "R"),
+        "o_orderkey",
+    )
+    j = _nl_eq(j, IndexScan(db.table("nation"), "n_nationkey", index_kind=ik), "c_nationkey")
+    grouped = _sorted_group(
+        j,
+        [col("c_custkey")],
+        [
+            (col("c_custkey"), "c_custkey"),
+            (col("c_name"), "c_name"),
+            (col("c_acctbal"), "c_acctbal"),
+            (col("c_phone"), "c_phone"),
+            (col("n_name"), "n_name"),
+            (col("c_address"), "c_address"),
+        ],
+        [AggSpec("sum", _revenue(), "revenue")],
+    )
+    plan = Limit(Sort(grouped, [SortKey(col("revenue"), descending=True)]), 20)
+    return db.run(plan)
+
+
+# -- Q11: important stock identification -----------------------------------------------------------
+
+
+def _q11_joined(db: Database, ik: str) -> PlanNode:
+    supp = SeqScan(db.table("supplier"))
+    j = _nl_eq(
+        supp,
+        IndexScan(db.table("nation"), "n_nationkey", index_kind=ik, qual=col("n_name") == "GERMANY"),
+        "s_nationkey",
+    )
+    return _nl_eq(j, IndexScan(db.table("partsupp"), "ps_suppkey", index_kind=ik), "s_suppkey")
+
+
+def q11(db: Database, ik: str) -> list:
+    value = col("ps_supplycost") * col("ps_availqty")
+    # phase 1: total stock value (the uncorrelated scalar subquery)
+    total_rows = db.run(Aggregate(_q11_joined(db, ik), [AggSpec("sum", value, "total")]))
+    threshold = total_rows[0][0] * 0.0001
+    # phase 2: per-part values above the threshold
+    grouped = _sorted_group(
+        _q11_joined(db, ik),
+        [col("ps_partkey")],
+        [(col("ps_partkey"), "ps_partkey")],
+        [AggSpec("sum", value, "value")],
+    )
+    plan = Sort(
+        Filter(grouped, col("value") > threshold),
+        [SortKey(col("value"), descending=True)],
+    )
+    return db.run(plan)
+
+
+# -- Q12: shipping modes and order priority ------------------------------------------------------------
+
+
+def q12(db: Database, ik: str) -> list:
+    lo, hi = date(1994, 1, 1), date(1995, 1, 1)
+    li = SeqScan(
+        db.table("lineitem"),
+        qual=and_(
+            or_(col("l_shipmode") == "MAIL", col("l_shipmode") == "SHIP"),
+            col("l_commitdate") < col("l_receiptdate"),
+            col("l_shipdate") < col("l_commitdate"),
+            col("l_receiptdate") >= lo,
+            col("l_receiptdate") < hi,
+        ),
+    )
+    j = _nl_eq(li, IndexScan(db.table("orders"), "o_orderkey", index_kind=ik), "l_orderkey")
+    high = or_(col("o_orderpriority") == "1-URGENT", col("o_orderpriority") == "2-HIGH")
+    plan = _sorted_group(
+        j,
+        [col("l_shipmode")],
+        [(col("l_shipmode"), "l_shipmode")],
+        [
+            AggSpec("sum", high * 1, "high_line_count"),
+            AggSpec("sum", not_(high) * 1, "low_line_count"),
+        ],
+    )
+    return db.run(plan)
+
+
+# -- Q13: customer order-count distribution ----------------------------------------------------------------
+
+
+def q13(db: Database, ik: str) -> list:
+    """Distribution of order counts per customer.
+
+    Substitution: SQL expresses this with a LEFT OUTER JOIN so customers
+    with no orders appear with count 0; minidb has no outer joins, so the
+    distribution covers customers with at least one qualifying order.
+    """
+    orders = SeqScan(db.table("orders"), qual=not_(contains(col("o_comment"), "special")))
+    per_customer = _sorted_group(
+        orders,
+        [col("o_custkey")],
+        [(col("o_custkey"), "c_custkey")],
+        [AggSpec("count", None, "c_count")],
+    )
+    dist = _sorted_group(
+        per_customer,
+        [col("c_count")],
+        [(col("c_count"), "c_count")],
+        [AggSpec("count", None, "custdist")],
+    )
+    return db.run(
+        Sort(dist, [SortKey(col("custdist"), descending=True), SortKey(col("c_count"), descending=True)])
+    )
+
+
+# -- Q14: promotion effect --------------------------------------------------------------------------------
+
+
+def q14(db: Database, ik: str) -> list:
+    lo, hi = date(1995, 9, 1), date(1995, 10, 1)
+    li = SeqScan(
+        db.table("lineitem"), qual=and_(col("l_shipdate") >= lo, col("l_shipdate") < hi)
+    )
+    j = _nl_eq(li, IndexScan(db.table("part"), "p_partkey", index_kind=ik), "l_partkey")
+    rev = _revenue()
+    agg = Aggregate(
+        j,
+        [
+            AggSpec("sum", startswith(col("p_type"), "PROMO") * rev, "promo"),
+            AggSpec("sum", rev, "total"),
+        ],
+    )
+    plan = Project(agg, [(const(100.0) * col("promo") / col("total"), "promo_revenue")])
+    return db.run(plan)
+
+
+# -- Q15: top supplier ---------------------------------------------------------------------------------------
+
+
+def _q15_revenue(db: Database, ik: str) -> PlanNode:
+    lo, hi = date(1996, 1, 1), date(1996, 4, 1)
+    li = SeqScan(
+        db.table("lineitem"), qual=and_(col("l_shipdate") >= lo, col("l_shipdate") < hi)
+    )
+    return _sorted_group(
+        li,
+        [col("l_suppkey")],
+        [(col("l_suppkey"), "supplier_no")],
+        [AggSpec("sum", _revenue(), "total_revenue")],
+    )
+
+
+def q15(db: Database, ik: str) -> list:
+    # phase 1: the view's maximum revenue (scalar subquery)
+    max_rows = db.run(Aggregate(_q15_revenue(db, ik), [AggSpec("max", col("total_revenue"), "m")]))
+    max_revenue = max_rows[0][0]
+    if max_revenue is None:
+        return []
+    # phase 2: suppliers achieving it
+    j = HashJoin(
+        SeqScan(db.table("supplier")),
+        Filter(_q15_revenue(db, ik), col("total_revenue") >= max_revenue),
+        col("s_suppkey"),
+        col("supplier_no"),
+    )
+    plan = Sort(
+        Project(
+            j,
+            [
+                (col("s_suppkey"), "s_suppkey"),
+                (col("s_name"), "s_name"),
+                (col("s_address"), "s_address"),
+                (col("s_phone"), "s_phone"),
+                (col("total_revenue"), "total_revenue"),
+            ],
+        ),
+        [SortKey(col("s_suppkey"))],
+    )
+    return db.run(plan)
+
+
+# -- Q16: parts/supplier relationship ---------------------------------------------------------------------------
+
+
+def q16(db: Database, ik: str) -> list:
+    sizes = (49, 14, 23, 45, 19, 3, 36, 9)
+    part = SeqScan(
+        db.table("part"),
+        qual=and_(
+            not_(col("p_brand") == "Brand#45"),
+            not_(startswith(col("p_type"), "MEDIUM POLISHED")),
+            or_(*[col("p_size") == s for s in sizes]),
+        ),
+    )
+    j = _nl_eq(part, IndexScan(db.table("partsupp"), "ps_partkey", index_kind=ik), "p_partkey")
+    j = _nl_eq(
+        j,
+        IndexScan(db.table("supplier"), "s_suppkey", index_kind=ik,
+                  qual=not_(contains(col("s_comment"), "Customer Complaints"))),
+        "ps_suppkey",
+    )
+    # COUNT(DISTINCT ps_suppkey): group once including suppkey, then re-group
+    distinct = _sorted_group(
+        j,
+        [col("p_brand"), col("p_type"), col("p_size"), col("ps_suppkey")],
+        [
+            (col("p_brand"), "p_brand"),
+            (col("p_type"), "p_type"),
+            (col("p_size"), "p_size"),
+            (col("ps_suppkey"), "ps_suppkey"),
+        ],
+        [AggSpec("count", None, "dup")],
+    )
+    # distinct's output is already sorted by (brand, type, size): group directly
+    counted = GroupAggregate(
+        distinct,
+        [(col("p_brand"), "p_brand"), (col("p_type"), "p_type"), (col("p_size"), "p_size")],
+        [AggSpec("count", None, "supplier_cnt")],
+    )
+    return db.run(
+        Sort(
+            counted,
+            [
+                SortKey(col("supplier_cnt"), descending=True),
+                SortKey(col("p_brand")),
+                SortKey(col("p_type")),
+                SortKey(col("p_size")),
+            ],
+        )
+    )
+
+
+# -- Q17: small-quantity-order revenue ------------------------------------------------------------------------------
+
+
+def _q17_part_lines(db: Database, ik: str) -> PlanNode:
+    part = SeqScan(
+        db.table("part"),
+        qual=and_(col("p_brand") == "Brand#23", col("p_container") == "MED BOX"),
+    )
+    return _nl_eq(part, IndexScan(db.table("lineitem"), "l_partkey", index_kind=ik), "p_partkey")
+
+
+def q17(db: Database, ik: str) -> list:
+    avg_qty = _sorted_group(
+        _q17_part_lines(db, ik),
+        [col("p_partkey")],
+        [(col("p_partkey"), "avg_partkey")],
+        [AggSpec("avg", col("l_quantity"), "avg_qty")],
+    )
+    j = HashJoin(
+        _q17_part_lines(db, ik),
+        avg_qty,
+        col("p_partkey"),
+        col("avg_partkey"),
+        qual=col("l_quantity") < const(0.2) * col("avg_qty"),
+    )
+    plan = Project(
+        Aggregate(j, [AggSpec("sum", col("l_extendedprice"), "s")]),
+        [(col("s") / 7.0, "avg_yearly")],
+    )
+    return db.run(plan)
+
+
+QUERIES: dict[int, QuerySpec] = {
+    spec.qid: spec
+    for spec in (
+        QuerySpec(1, "pricing summary report", q1),
+        QuerySpec(2, "minimum cost supplier", q2),
+        QuerySpec(3, "shipping priority", q3),
+        QuerySpec(4, "order priority checking", q4),
+        QuerySpec(5, "local supplier volume", q5),
+        QuerySpec(6, "forecasting revenue change", q6),
+        QuerySpec(7, "volume shipping", q7),
+        QuerySpec(8, "national market share", q8),
+        QuerySpec(9, "product type profit", q9),
+        QuerySpec(10, "returned item reporting", q10),
+        QuerySpec(11, "important stock identification", q11),
+        QuerySpec(12, "shipping modes and order priority", q12),
+        QuerySpec(13, "customer order-count distribution", q13),
+        QuerySpec(14, "promotion effect", q14),
+        QuerySpec(15, "top supplier", q15),
+        QuerySpec(16, "parts/supplier relationship", q16),
+        QuerySpec(17, "small-quantity-order revenue", q17),
+    )
+}
+
+
+def build_query(qid: int) -> QuerySpec:
+    try:
+        return QUERIES[qid]
+    except KeyError:
+        raise KeyError(f"TPC-D defines queries 1-17; got {qid}") from None
+
+
+def run_query(db: Database, qid: int, index_kind: str = "btree") -> list:
+    """Execute one TPC-D query to completion (the paper's methodology)."""
+    return build_query(qid).execute(db, index_kind)

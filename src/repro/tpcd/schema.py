@@ -1,0 +1,169 @@
+"""TPC-D schema: the 8 tables, their key columns and scaled cardinalities.
+
+Column subsets cover everything the 17 queries touch. Primary-key columns
+get unique indexes and foreign-key columns get multiple-entry indexes, as
+the paper's database setup specifies (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.minidb.tuples import Column, ColumnType
+
+__all__ = ["TableSpec", "TPCD_TABLES", "table_cardinality"]
+
+I, F, S, D = ColumnType.INT, ColumnType.FLOAT, ColumnType.STR, ColumnType.DATE
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    name: str
+    columns: tuple[Column, ...]
+    #: rows at scale factor 1.0 (None = fixed-size table)
+    base_rows: int | None
+    fixed_rows: int = 0
+    #: single-column unique keys (unique index) and foreign keys (multi-entry
+    #: index); composite keys are indexed on their leading column, multi-entry.
+    unique_keys: tuple[str, ...] = ()
+    foreign_keys: tuple[str, ...] = ()
+
+    def rows_at(self, scale: float) -> int:
+        if self.base_rows is None:
+            return self.fixed_rows
+        return max(1, round(self.base_rows * scale))
+
+
+def _cols(*pairs) -> tuple[Column, ...]:
+    return tuple(Column(n, t) for n, t in pairs)
+
+
+TPCD_TABLES: dict[str, TableSpec] = {
+    spec.name: spec
+    for spec in (
+        TableSpec(
+            "region",
+            _cols(("r_regionkey", I), ("r_name", S), ("r_comment", S)),
+            base_rows=None,
+            fixed_rows=5,
+            unique_keys=("r_regionkey",),
+        ),
+        TableSpec(
+            "nation",
+            _cols(("n_nationkey", I), ("n_name", S), ("n_regionkey", I), ("n_comment", S)),
+            base_rows=None,
+            fixed_rows=25,
+            unique_keys=("n_nationkey",),
+            foreign_keys=("n_regionkey",),
+        ),
+        TableSpec(
+            "supplier",
+            _cols(
+                ("s_suppkey", I),
+                ("s_name", S),
+                ("s_address", S),
+                ("s_nationkey", I),
+                ("s_phone", S),
+                ("s_acctbal", F),
+                ("s_comment", S),
+            ),
+            base_rows=10_000,
+            unique_keys=("s_suppkey",),
+            foreign_keys=("s_nationkey",),
+        ),
+        TableSpec(
+            "customer",
+            _cols(
+                ("c_custkey", I),
+                ("c_name", S),
+                ("c_address", S),
+                ("c_nationkey", I),
+                ("c_phone", S),
+                ("c_acctbal", F),
+                ("c_mktsegment", S),
+                ("c_comment", S),
+            ),
+            base_rows=150_000,
+            unique_keys=("c_custkey",),
+            foreign_keys=("c_nationkey",),
+        ),
+        TableSpec(
+            "part",
+            _cols(
+                ("p_partkey", I),
+                ("p_name", S),
+                ("p_mfgr", S),
+                ("p_brand", S),
+                ("p_type", S),
+                ("p_size", I),
+                ("p_container", S),
+                ("p_retailprice", F),
+                ("p_comment", S),
+            ),
+            base_rows=200_000,
+            unique_keys=("p_partkey",),
+        ),
+        TableSpec(
+            "partsupp",
+            _cols(
+                ("ps_partkey", I),
+                ("ps_suppkey", I),
+                ("ps_availqty", I),
+                ("ps_supplycost", F),
+                ("ps_comment", S),
+            ),
+            base_rows=800_000,
+            # composite PK (ps_partkey, ps_suppkey): both multi-entry
+            foreign_keys=("ps_partkey", "ps_suppkey"),
+        ),
+        TableSpec(
+            "orders",
+            _cols(
+                ("o_orderkey", I),
+                ("o_custkey", I),
+                ("o_orderstatus", S),
+                ("o_totalprice", F),
+                ("o_orderdate", D),
+                ("o_orderpriority", S),
+                ("o_clerk", S),
+                ("o_shippriority", I),
+                ("o_comment", S),
+            ),
+            base_rows=1_500_000,
+            unique_keys=("o_orderkey",),
+            foreign_keys=("o_custkey",),
+        ),
+        TableSpec(
+            "lineitem",
+            _cols(
+                ("l_orderkey", I),
+                ("l_partkey", I),
+                ("l_suppkey", I),
+                ("l_linenumber", I),
+                ("l_quantity", F),
+                ("l_extendedprice", F),
+                ("l_discount", F),
+                ("l_tax", F),
+                ("l_returnflag", S),
+                ("l_linestatus", S),
+                ("l_shipdate", D),
+                ("l_commitdate", D),
+                ("l_receiptdate", D),
+                ("l_shipinstruct", S),
+                ("l_shipmode", S),
+                ("l_comment", S),
+            ),
+            base_rows=None,  # derived: ~4 lines per order
+            foreign_keys=("l_orderkey", "l_partkey", "l_suppkey"),
+        ),
+    )
+}
+
+
+def table_cardinality(name: str, scale: float) -> int:
+    """Row count for a table at the given scale factor (lineitem is derived
+    from orders at generation time; this returns its expected value)."""
+    spec = TPCD_TABLES[name]
+    if name == "lineitem":
+        return TPCD_TABLES["orders"].rows_at(scale) * 4
+    return spec.rows_at(scale)

@@ -1,0 +1,104 @@
+"""Workload definitions and trace capture (paper Sections 3, 4, 7).
+
+* Training set: queries 3, 4, 5, 6 and 9 on the Btree-indexed database —
+  used to obtain the profile the layout algorithms consume.
+* Test set: queries 2, 3, 4, 6, 11, 12, 13, 14, 15 and 17, on both the
+  Btree- and Hash-indexed databases — used for all simulation results.
+
+All queries run to completion, and every table carries unique indexes on
+primary keys plus multiple-entry indexes on foreign keys, in both index
+kinds (one binary, two access-path variants — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.model import ColdCodeConfig, KernelModel
+from repro.minidb.engine import Database
+from repro.profiling.trace import BlockTrace
+from repro.tpcd.dbgen import generate_table
+from repro.tpcd.queries import run_query
+from repro.tpcd.schema import TPCD_TABLES
+
+__all__ = [
+    "TRAINING_QUERIES",
+    "TEST_QUERIES",
+    "build_database",
+    "capture_trace",
+    "Workload",
+]
+
+TRAINING_QUERIES: tuple[int, ...] = (3, 4, 5, 6, 9)
+TEST_QUERIES: tuple[int, ...] = (2, 3, 4, 6, 11, 12, 13, 14, 15, 17)
+
+
+def build_database(
+    scale: float = 0.01,
+    *,
+    seed: int = 7,
+    page_capacity: int = 64,
+    buffer_pages: int = 256,
+    index_kinds: tuple[str, ...] = ("btree", "hash"),
+) -> Database:
+    """Create, index and load the TPC-D database at the given scale factor."""
+    db = Database("tpcd", page_capacity=page_capacity, buffer_pages=buffer_pages)
+    for name, spec in TPCD_TABLES.items():
+        table = db.create_table(name, spec.columns)
+        for kind in index_kinds:
+            for column in spec.unique_keys:
+                table.create_index(column, kind, unique=True)
+            for column in spec.foreign_keys:
+                table.create_index(column, kind)
+        db.load(name, generate_table(name, scale, seed))
+    return db
+
+
+def capture_trace(
+    db: Database,
+    model: KernelModel,
+    queries: tuple[int, ...],
+    index_kinds: tuple[str, ...] = ("btree",),
+) -> BlockTrace:
+    """Run queries under tracing; one trace run per (index kind, query)."""
+    tracer = model.tracer()
+    with tracer:
+        for kind in index_kinds:
+            for qid in queries:
+                run_query(db, qid, kind)
+                tracer.end_run()
+    return tracer.take_trace()
+
+
+@dataclass
+class Workload:
+    """A fully built experimental setup: database, static image and traces."""
+
+    db: Database
+    model: KernelModel
+    training_trace: BlockTrace
+    test_trace: BlockTrace
+
+    @classmethod
+    def build(
+        cls,
+        scale: float = 0.01,
+        *,
+        seed: int = 7,
+        kernel_seed: int = 2029,
+        richness: float = 10.0,
+        cold: ColdCodeConfig | None = None,
+        buffer_pages: int = 256,
+        training_queries: tuple[int, ...] = TRAINING_QUERIES,
+        test_queries: tuple[int, ...] = TEST_QUERIES,
+    ) -> "Workload":
+        """Build everything the experiments need (minutes at scale 0.01)."""
+        db = build_database(scale, seed=seed, buffer_pages=buffer_pages)
+        model = db.kernel_model(seed=kernel_seed, richness=richness, cold=cold)
+        training = capture_trace(db, model, training_queries, ("btree",))
+        test = capture_trace(db, model, test_queries, ("btree", "hash"))
+        return cls(db=db, model=model, training_trace=training, test_trace=test)
+
+    @property
+    def program(self):
+        return self.model.program

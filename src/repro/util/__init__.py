@@ -1,0 +1,6 @@
+"""Small shared utilities: deterministic RNG streams and table formatting."""
+
+from repro.util.rng import derive_seed, stream
+from repro.util.fmt import format_table
+
+__all__ = ["derive_seed", "stream", "format_table"]

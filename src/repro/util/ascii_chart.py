@@ -1,0 +1,63 @@
+"""Minimal ASCII line chart for the CLI experiment output (Figure 2)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ascii_curve"]
+
+
+def ascii_curve(
+    points: Sequence[tuple[float, float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render (x, y) points as a monotone ASCII curve.
+
+    Points are linearly interpolated onto a ``width`` x ``height`` grid; the
+    y-axis shows min/max ticks. Intended for quick visual confirmation of a
+    curve's shape in terminal output, not for publication.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    xs = [float(x) for x, _y in points]
+    ys = [float(y) for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo or y_hi == y_lo:
+        raise ValueError("degenerate axis range")
+
+    def interp(x: float) -> float:
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            if x0 <= x <= x1:
+                if x1 == x0:
+                    return float(y1)
+                t = (x - x0) / (x1 - x0)
+                return float(y0) + t * (float(y1) - float(y0))
+        return ys[-1]
+
+    grid = [[" "] * width for _ in range(height)]
+    for column in range(width):
+        x = x_lo + (x_hi - x_lo) * column / (width - 1)
+        y = interp(x)
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][column] = "*"
+
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            tick = f"{y_hi:8.1f} |"
+        elif i == height - 1:
+            tick = f"{y_lo:8.1f} |"
+        else:
+            tick = " " * 9 + "|"
+        lines.append(tick + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    footer = f"{x_lo:<12.0f}{x_label:^{max(0, width - 24)}}{x_hi:>12.0f}"
+    lines.append(" " * 10 + footer)
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""ASCII table formatting for experiment output.
+
+The experiment modules print tables in the same row/column shape as the
+paper's Tables 1-4; this module keeps the rendering in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: object, spec: str | None) -> str:
+    if value is None:
+        return "-"
+    if spec and isinstance(value, (int, float)):
+        return format(value, spec)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render ``rows`` as a fixed-width ASCII table.
+
+    ``None`` cells render as ``-`` (the paper uses a dash for configurations
+    that do not apply, e.g. CFA sizes for the original layout).
+    Floats are formatted with ``floatfmt``; pass per-call specs for other
+    precisions.
+    """
+    str_rows = [[_cell(v, floatfmt if isinstance(v, float) else None) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths, strict=True))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.baselines import original_layout, pettis_hansen_layout
+from repro.cfg import BlockKind, ProgramBuilder, WeightedCFG
+
+
+@pytest.fixture
+def world():
+    b = ProgramBuilder()
+    # f: entry(0) branch -> hot(1) or cold(2); hot calls g; 3 returns
+    b.add_procedure(
+        "f",
+        "executor",
+        sizes=[2, 2, 2, 2],
+        kinds=[BlockKind.BRANCH, BlockKind.CALL, BlockKind.FALL_THROUGH, BlockKind.RETURN],
+    )
+    b.add_procedure("g", "access", sizes=[2, 2], kinds=[BlockKind.FALL_THROUGH, BlockKind.RETURN])
+    b.add_procedure("h", "access", sizes=[2], kinds=[BlockKind.RETURN])
+    program = b.build()
+    cfg = WeightedCFG(program.n_blocks)
+    # f executes 0 -> 1 (hot), 1 calls g (4,5), g returns to 3
+    cfg.add_transition(0, 1, 100)
+    cfg.add_transition(1, 4, 100)
+    cfg.add_transition(4, 5, 100)
+    cfg.add_transition(5, 3, 100)
+    cfg.block_count = np.array([100, 100, 0, 100, 100, 100, 0], dtype=np.int64)
+    return program, cfg
+
+
+def test_all_blocks_placed(world):
+    program, cfg = world
+    layout = pettis_hansen_layout(program, cfg)
+    layout.validate(program)
+    assert layout.name == "P&H"
+    assert layout.extent_bytes(program) == program.image_bytes  # contiguous
+
+
+def test_fluff_sinks_to_procedure_bottom(world):
+    program, cfg = world
+    layout = pettis_hansen_layout(program, cfg)
+    # block 2 never executes: must come after f's executed blocks
+    assert layout.address[2] > max(layout.address[b] for b in (0, 1, 3))
+
+
+def test_hot_chain_stays_adjacent(world):
+    program, cfg = world
+    layout = pettis_hansen_layout(program, cfg)
+    # 0 -> 1 is f's hottest internal edge: adjacent in the layout
+    assert layout.is_sequential(0, 1, program)
+
+
+def test_caller_callee_proximity(world):
+    program, cfg = world
+    layout = pettis_hansen_layout(program, cfg)
+    # g (called 100x by f) must be closer to f than h (never called)
+    f_pos = layout.address[0]
+    g_pos = layout.address[4]
+    h_pos = layout.address[6]
+    assert abs(g_pos - f_pos) < abs(h_pos - f_pos)
+
+
+def test_entry_chain_leads_procedure(world):
+    program, cfg = world
+    layout = pettis_hansen_layout(program, cfg)
+    f_blocks = program.procedures[0].blocks
+    assert layout.address[0] == min(layout.address[b] for b in f_blocks)
+
+
+def test_unexecuted_program_equals_original_order():
+    b = ProgramBuilder()
+    b.add_procedure("a", "m", sizes=[2, 2], kinds=[BlockKind.FALL_THROUGH, BlockKind.RETURN])
+    b.add_procedure("b", "m", sizes=[2], kinds=[BlockKind.RETURN])
+    program = b.build()
+    cfg = WeightedCFG(program.n_blocks)
+    layout = pettis_hansen_layout(program, cfg)
+    layout.validate(program)
+    # with no profile, block order within procedures is preserved
+    assert layout.address[0] < layout.address[1]

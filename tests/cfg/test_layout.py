@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.cfg import BlockKind, Layout, ProgramBuilder
+
+
+@pytest.fixture
+def program():
+    b = ProgramBuilder()
+    b.add_procedure("f", "m", sizes=[2, 3], kinds=[BlockKind.FALL_THROUGH, BlockKind.RETURN])
+    b.add_procedure("g", "m", sizes=[4], kinds=[BlockKind.RETURN])
+    return b.build()
+
+
+def test_original_layout_addresses(program):
+    lay = Layout.original(program)
+    np.testing.assert_array_equal(lay.address, [0, 8, 20])
+    assert lay.extent_bytes(program) == (2 + 3 + 4) * 4
+
+
+def test_from_order_permutes(program):
+    lay = Layout.from_order(program, [2, 0, 1], name="perm")
+    assert lay.address[2] == 0
+    assert lay.address[0] == 16
+    assert lay.address[1] == 24
+    np.testing.assert_array_equal(lay.order(), [2, 0, 1])
+
+
+def test_from_order_rejects_non_permutation(program):
+    with pytest.raises(ValueError):
+        Layout.from_order(program, [0, 0, 1], name="bad")
+    with pytest.raises(ValueError):
+        Layout.from_order(program, [0, 1], name="bad")
+
+
+def test_is_sequential(program):
+    lay = Layout.original(program)
+    assert lay.is_sequential(0, 1, program)
+    assert not lay.is_sequential(1, 2, program) or lay.address[2] == lay.address[1] + 12
+    # block 1 ends at 8+12=20, block 2 starts at 20: actually sequential
+    assert lay.is_sequential(1, 2, program)
+
+
+def test_placements_with_gap(program):
+    lay = Layout.from_placements(program, {0: 0, 1: 100, 2: 200}, name="gappy")
+    assert lay.extent_bytes(program) == 216
+
+
+def test_placements_overlap_rejected(program):
+    with pytest.raises(ValueError):
+        Layout.from_placements(program, {0: 0, 1: 4, 2: 100}, name="overlap")
+
+
+def test_placements_missing_rejected(program):
+    with pytest.raises(ValueError):
+        Layout.from_placements(program, {0: 0, 1: 8}, name="missing")
+
+
+def test_start_offset(program):
+    lay = Layout.from_order(program, [0, 1, 2], name="ofs", start=64)
+    assert int(lay.address.min()) == 64
+
+
+def test_save_load_roundtrip(program, tmp_path):
+    lay = Layout.from_order(program, [2, 0, 1], name="perm")
+    path = tmp_path / "layout.npz"
+    lay.save(path)
+    loaded = Layout.load(path, program)
+    assert loaded.name == "perm"
+    np.testing.assert_array_equal(loaded.address, lay.address)
+
+
+def test_load_validates_against_program(program, tmp_path):
+    other = Layout(name="bad", address=np.array([0, 0], dtype=np.int64))
+    path = tmp_path / "bad.npz"
+    other.save(path)
+    with pytest.raises(ValueError):
+        Layout.load(path, program)

@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.cfg import BlockKind, Program, ProgramBuilder
+
+
+def build_two_proc_program():
+    b = ProgramBuilder()
+    b.add_procedure(
+        "main",
+        "executor",
+        sizes=[4, 2, 6],
+        kinds=[BlockKind.FALL_THROUGH, BlockKind.CALL, BlockKind.RETURN],
+        is_operation=True,
+        local_succ={0: [1], 1: [2]},
+    )
+    b.add_procedure(
+        "helper",
+        "access",
+        sizes=[3, 5],
+        kinds=[BlockKind.BRANCH, BlockKind.RETURN],
+        local_succ={0: [1]},
+    )
+    return b.build()
+
+
+def test_builder_assigns_contiguous_ids():
+    p = build_two_proc_program()
+    assert p.procedures[0].blocks == (0, 1, 2)
+    assert p.procedures[1].blocks == (3, 4)
+    assert p.procedures[1].entry == 3
+
+
+def test_counts():
+    p = build_two_proc_program()
+    assert p.n_blocks == 5
+    assert p.n_procedures == 2
+    assert p.n_instructions == 4 + 2 + 6 + 3 + 5
+    assert p.image_bytes == p.n_instructions * 4
+
+
+def test_block_proc_mapping():
+    p = build_two_proc_program()
+    np.testing.assert_array_equal(p.block_proc, [0, 0, 0, 1, 1])
+    assert p.procedure_of(4).name == "helper"
+
+
+def test_static_succ_rebased():
+    p = build_two_proc_program()
+    assert p.static_succ[3] == (4,)
+
+
+def test_entry_blocks():
+    p = build_two_proc_program()
+    np.testing.assert_array_equal(p.entry_blocks(), [0, 3])
+
+
+def test_membership_and_size():
+    p = build_two_proc_program()
+    proc = p.procedures[0]
+    assert 2 in proc and 3 not in proc
+    assert proc.size_instructions(p.block_size) == 12
+
+
+def test_empty_procedure_rejected():
+    b = ProgramBuilder()
+    with pytest.raises(ValueError):
+        b.add_procedure("x", "m", sizes=[], kinds=[])
+
+
+def test_mismatched_sizes_kinds_rejected():
+    b = ProgramBuilder()
+    with pytest.raises(ValueError):
+        b.add_procedure("x", "m", sizes=[1, 2], kinds=[BlockKind.RETURN])
+
+
+def test_validate_rejects_zero_size_block():
+    p = build_two_proc_program()
+    bad = Program(
+        block_size=np.array([0, 1, 1, 1, 1], dtype=np.int32),
+        block_kind=p.block_kind,
+        block_proc=p.block_proc,
+        procedures=p.procedures,
+        static_succ={},
+    )
+    with pytest.raises(ValueError):
+        bad.validate()

@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.cfg import BlockKind, ProgramBuilder, WeightedCFG
+
+
+def test_from_edges_and_queries():
+    cfg = WeightedCFG.from_edges(5, [(0, 1, 10), (0, 2, 5), (1, 3, 15)])
+    assert cfg.n_edges == 3
+    assert cfg.successors(0) == [(1, 10), (2, 5)]
+    assert cfg.out_weight(0) == 15
+    assert cfg.probability(0, 1) == pytest.approx(10 / 15)
+    assert cfg.hottest_successor(0) == (1, 10)
+    assert cfg.hottest_successor(4) is None
+
+
+def test_block_count_inferred():
+    cfg = WeightedCFG.from_edges(4, [(0, 1, 3), (1, 2, 3)])
+    # node counts: out-weight, sinks fall back to in-weight
+    assert cfg.block_count[0] == 3
+    assert cfg.block_count[2] == 3
+
+
+def test_add_transition_accumulates():
+    cfg = WeightedCFG(3)
+    cfg.add_transition(0, 1, 2)
+    cfg.add_transition(0, 1, 3)
+    assert cfg.edge_count(0, 1) == 5
+    assert cfg.predecessors(1) == [(0, 5)]
+
+
+def test_nonpositive_count_rejected():
+    cfg = WeightedCFG(2)
+    with pytest.raises(ValueError):
+        cfg.add_transition(0, 1, 0)
+
+
+def test_executed_blocks():
+    cfg = WeightedCFG.from_edges(6, [(0, 1, 1)], block_count=np.array([1, 1, 0, 0, 2, 0]))
+    np.testing.assert_array_equal(cfg.executed_blocks(), [0, 1, 4])
+
+
+def test_tie_break_by_block_id():
+    cfg = WeightedCFG.from_edges(4, [(0, 3, 5), (0, 1, 5)])
+    assert cfg.hottest_successor(0) == (1, 5)
+
+
+def test_edges_iterator_sorted():
+    cfg = WeightedCFG.from_edges(4, [(2, 0, 1), (0, 2, 2), (0, 1, 3)])
+    assert list(cfg.edges()) == [(0, 1, 3), (0, 2, 2), (2, 0, 1)]
+
+
+def test_procedure_call_graph():
+    b = ProgramBuilder()
+    b.add_procedure("f", "m", sizes=[1, 1], kinds=[BlockKind.CALL, BlockKind.RETURN])
+    b.add_procedure("g", "m", sizes=[1], kinds=[BlockKind.RETURN])
+    program = b.build()
+    # f's call block (0) calls g entry (2); g's return (2) goes back to f (1)
+    cfg = WeightedCFG.from_edges(3, [(0, 2, 7), (2, 1, 7)])
+    assert cfg.procedure_call_graph(program) == {(0, 1): 7}

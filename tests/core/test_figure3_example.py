@@ -1,0 +1,88 @@
+"""The paper's Figure 3 worked example, as a unit test.
+
+Graph (names -> ids): A1..A8 = 0..7, B1 = 8, C1..C5 = 9..13. With
+ExecThresh 4 (scaled x20 = 80 here) and BranchThresh 0.4 the paper builds
+the main sequence A1..A8 (inlining the called C1..C4), a secondary sequence
+[A5], and discards B1 and C5 (branch threshold) and A6 (exec threshold).
+"""
+
+import pytest
+
+from repro.cfg import WeightedCFG
+from repro.core import TraceParams, build_sequences
+
+A1, A2, A3, A4, A5, A6, A7, A8, B1, C1, C2, C3, C4, C5 = range(14)
+
+EDGES = [
+    (A1, A2, 200),
+    (A2, A3, 180),
+    (A2, B1, 20),
+    (A3, A4, 110),
+    (A3, A5, 90),
+    (A4, C1, 200),  # subroutine call
+    (C1, C2, 600),
+    (C2, C3, 594),
+    (C2, C5, 6),
+    (C3, C4, 400),
+    (C4, A7, 280),  # subroutine return
+    (C4, C1, 120),
+    (A5, A6, 48),
+    (A5, A7, 72),
+    (A6, A7, 48),
+    (A7, A8, 200),
+    (B1, A8, 20),
+]
+
+COUNTS = [200, 200, 200, 200, 120, 48, 152, 200, 20, 600, 600, 400, 400, 6]
+
+
+@pytest.fixture
+def graph():
+    import numpy as np
+
+    return WeightedCFG.from_edges(14, EDGES, block_count=np.array(COUNTS))
+
+
+def test_main_and_secondary_sequences(graph):
+    sequences = build_sequences(graph, [A1], TraceParams(exec_threshold=80, branch_threshold=0.4))
+    assert sequences[0] == [A1, A2, A3, A4, C1, C2, C3, C4, A7, A8]
+    assert sequences[1] == [A5]
+    assert len(sequences) == 2
+
+
+def test_discarded_blocks_stay_unplaced(graph):
+    sequences = build_sequences(graph, [A1], TraceParams(exec_threshold=80, branch_threshold=0.4))
+    placed = {b for seq in sequences for b in seq}
+    assert B1 not in placed  # branch threshold (probability 0.1)
+    assert C5 not in placed  # branch threshold (probability 0.01)
+    assert A6 not in placed  # exec threshold (weight 48 < 80)
+
+
+def test_lower_branch_threshold_admits_b1(graph):
+    sequences = build_sequences(graph, [A1], TraceParams(exec_threshold=10, branch_threshold=0.05))
+    placed = {b for seq in sequences for b in seq}
+    assert B1 in placed
+
+
+def test_lower_exec_threshold_admits_a6(graph):
+    sequences = build_sequences(graph, [A1], TraceParams(exec_threshold=20, branch_threshold=0.4))
+    placed = {b for seq in sequences for b in seq}
+    assert A6 in placed
+
+
+def test_visited_state_shared_across_seeds(graph):
+    visited: set[int] = set()
+    first = build_sequences(graph, [A1], TraceParams(80, 0.4), visited)
+    second = build_sequences(graph, [A1, A5], TraceParams(80, 0.4), visited)
+    assert first and not second  # everything reachable was already placed
+
+
+def test_seed_below_exec_threshold_skipped(graph):
+    assert build_sequences(graph, [A6], TraceParams(exec_threshold=80, branch_threshold=0.4)) == []
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        TraceParams(exec_threshold=-1)
+    with pytest.raises(ValueError):
+        TraceParams(branch_threshold=1.5)

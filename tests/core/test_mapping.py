@@ -1,0 +1,119 @@
+import numpy as np
+import pytest
+
+from repro.cfg import BlockKind, Layout, ProgramBuilder
+from repro.core import CacheGeometry, map_sequences
+
+
+def make_program(n_blocks=20, block_instrs=8):
+    """One procedure, uniform blocks of block_instrs instructions (32 B)."""
+    b = ProgramBuilder()
+    kinds = [BlockKind.BRANCH] * (n_blocks - 1) + [BlockKind.RETURN]
+    b.add_procedure("f", "executor", sizes=[block_instrs] * n_blocks, kinds=kinds)
+    return b.build()
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        CacheGeometry(cache_bytes=100, cfa_bytes=10)  # not line multiple
+    with pytest.raises(ValueError):
+        CacheGeometry(cache_bytes=1024, cfa_bytes=1024)
+    CacheGeometry(cache_bytes=1024, cfa_bytes=0)
+
+
+def test_cfa_holds_whole_sequences():
+    program = make_program()
+    geo = CacheGeometry(cache_bytes=256, cfa_bytes=96)  # CFA = 3 blocks
+    # seq0 (2 blocks, 64B) fits; seq1 (2 blocks) does not fit after it (32B left)
+    layout = map_sequences(program, [[0, 1], [2, 3]], geo, name="t")
+    assert layout.address[0] == 0 and layout.address[1] == 32
+    # second sequence starts at the CFA boundary, not inside it
+    assert layout.address[2] == 96 and layout.address[3] == 128
+
+
+def test_smaller_later_sequence_can_enter_cfa():
+    program = make_program()
+    geo = CacheGeometry(cache_bytes=256, cfa_bytes=96)
+    layout = map_sequences(program, [[0, 1], [2, 3], [4]], geo, name="t")
+    # [4] (32B) fits in the CFA leftover after [0,1]
+    assert layout.address[4] == 64
+
+
+def test_cfa_window_reserved_in_later_logical_caches():
+    program = make_program(n_blocks=30)
+    geo = CacheGeometry(cache_bytes=256, cfa_bytes=64)
+    sequences = [[i] for i in range(12)]  # 12 hot blocks of 32B
+    layout = map_sequences(program, sequences, geo, name="t")
+    hot = set(range(12))
+    for block in hot:
+        addr = int(layout.address[block])
+        offset = addr % 256
+        if addr >= 256:  # in a later logical cache: must avoid the window
+            assert offset >= 64, f"hot block {block} at {addr} invades the CFA window"
+
+
+def test_cold_code_fills_reserved_gaps():
+    program = make_program(n_blocks=30)
+    geo = CacheGeometry(cache_bytes=256, cfa_bytes=64)
+    layout = map_sequences(program, [[i] for i in range(12)], geo, name="t")
+    cold = [b for b in range(12, 30)]
+    gap_used = any(
+        int(layout.address[b]) >= 256 and int(layout.address[b]) % 256 < 64 for b in cold
+    )
+    assert gap_used, "cold blocks should fill the reserved windows"
+
+
+def test_block_granularity_cfa():
+    program = make_program()
+    geo = CacheGeometry(cache_bytes=256, cfa_bytes=64)
+    layout = map_sequences(
+        program, [[0, 1, 2, 3]], geo, name="torr", cfa_blocks=[2, 0]
+    )
+    # pinned blocks at the front, pulled out of the sequence
+    assert layout.address[2] == 0
+    assert layout.address[0] == 32
+    # rest of the sequence lives outside the CFA
+    assert layout.address[1] >= 64 and layout.address[3] >= 64
+
+
+def test_no_cfa_is_plain_packing():
+    program = make_program()
+    geo = CacheGeometry(cache_bytes=256, cfa_bytes=0)
+    layout = map_sequences(program, [[3, 1], [0]], geo, name="t")
+    assert layout.address[3] == 0
+    assert layout.address[1] == 32
+    assert layout.address[0] == 64
+
+
+def test_all_blocks_placed_and_disjoint():
+    program = make_program(n_blocks=25)
+    geo = CacheGeometry(cache_bytes=128, cfa_bytes=32)
+    layout = map_sequences(program, [[0, 5, 7], [9, 2]], geo, name="t")
+    layout.validate(program)  # overlaps raise
+    assert (layout.address >= 0).all()
+
+
+def test_block_larger_than_free_area_terminates():
+    """Regression: a block bigger than (cache - CFA) used to bump past the
+    reserved window forever; it must be placed straddling instead."""
+    b = ProgramBuilder()
+    b.add_procedure(
+        "f", "m", sizes=[24, 24, 4], kinds=[BlockKind.BRANCH, BlockKind.BRANCH, BlockKind.RETURN]
+    )
+    program = b.build()
+    geo = CacheGeometry(cache_bytes=128, cfa_bytes=96)  # free area 32B < 96B blocks
+    layout = map_sequences(program, [[0], [1]], geo, name="t")
+    layout.validate(program)
+    assert (layout.address >= 0).all()
+
+
+def test_sequence_longer_than_free_area_is_broken_not_lost():
+    program = make_program(n_blocks=12, block_instrs=8)
+    geo = CacheGeometry(cache_bytes=128, cfa_bytes=64)  # free area = 64B = 2 blocks
+    long_seq = [[0, 1, 2, 3, 4, 5]]  # 192B > 64B free area
+    layout = map_sequences(program, long_seq, geo, name="t")
+    layout.validate(program)
+    for b in range(6):
+        offset = int(layout.address[b]) % 128
+        if int(layout.address[b]) >= 128:
+            assert offset >= 64

@@ -1,0 +1,80 @@
+"""Property-based tests on the CFA mapping invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import BlockKind, ProgramBuilder
+from repro.core import CacheGeometry, map_sequences
+
+
+def make_program(sizes):
+    b = ProgramBuilder()
+    kinds = [BlockKind.BRANCH] * (len(sizes) - 1) + [BlockKind.RETURN]
+    b.add_procedure("f", "executor", sizes=sizes, kinds=kinds)
+    return b.build()
+
+
+@st.composite
+def mapping_case(draw):
+    n = draw(st.integers(min_value=3, max_value=40))
+    sizes = draw(st.lists(st.integers(min_value=1, max_value=24), min_size=n, max_size=n))
+    n_lines = draw(st.sampled_from([4, 8, 16]))
+    cache = n_lines * 32
+    cfa = draw(st.integers(min_value=0, max_value=n_lines - 1)) * 32
+    # sequences: a random disjoint partition of a prefix of the blocks
+    ids = list(range(n))
+    draw(st.randoms(use_true_random=False)).shuffle(ids)
+    k = draw(st.integers(min_value=0, max_value=n))
+    chosen = ids[:k]
+    sequences = []
+    i = 0
+    while i < len(chosen):
+        step = draw(st.integers(min_value=1, max_value=4))
+        sequences.append(chosen[i : i + step])
+        i += step
+    return sizes, cache, cfa, sequences
+
+
+@given(mapping_case())
+@settings(max_examples=120, deadline=None)
+def test_mapping_invariants(case):
+    sizes, cache, cfa, sequences = case
+    program = make_program(sizes)
+    geometry = CacheGeometry(cache_bytes=cache, cfa_bytes=cfa)
+    layout = map_sequences(program, sequences, geometry, name="t")
+
+    # 1. every block placed exactly once, no overlaps
+    layout.validate(program)
+    assert (layout.address >= 0).all()
+
+    # 2. sequence blocks that landed outside the CFA never invade the
+    #    reserved window of later logical caches
+    seq_blocks = [b for seq in sequences for b in seq]
+    in_cfa = {b for b in seq_blocks if layout.address[b] + 1 <= cfa and layout.address[b] < cfa}
+    for b in seq_blocks:
+        addr = int(layout.address[b])
+        size = int(program.block_size[b]) * 4
+        if addr >= cache and cfa and size <= cache - cfa:
+            # fully inside some later logical cache: must avoid the window
+            start_off = addr % cache
+            assert start_off >= cfa or addr < cache
+
+    # 3. total occupancy is at least the program size (gaps allowed)
+    assert layout.extent_bytes(program) >= program.image_bytes
+
+
+@given(mapping_case())
+@settings(max_examples=60, deadline=None)
+def test_cfa_budget_never_exceeded(case):
+    sizes, cache, cfa, sequences = case
+    program = make_program(sizes)
+    geometry = CacheGeometry(cache_bytes=cache, cfa_bytes=cfa)
+    layout = map_sequences(program, sequences, geometry, name="t")
+    seq_blocks = {b for seq in sequences for b in seq}
+    used = sum(
+        int(program.block_size[b]) * 4
+        for b in seq_blocks
+        if int(layout.address[b]) < cfa
+    )
+    assert used <= cfa

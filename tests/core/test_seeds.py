@@ -1,0 +1,47 @@
+import numpy as np
+import pytest
+
+from repro.cfg import BlockKind, ProgramBuilder, WeightedCFG
+from repro.core import auto_seeds, ops_seeds
+
+
+@pytest.fixture
+def program():
+    b = ProgramBuilder()
+    b.add_procedure("scan", "executor", sizes=[2, 2], kinds=[BlockKind.CALL, BlockKind.RETURN], is_operation=True)
+    b.add_procedure("helper", "access", sizes=[2], kinds=[BlockKind.RETURN])
+    b.add_procedure("sort", "executor", sizes=[2, 2], kinds=[BlockKind.CALL, BlockKind.RETURN], is_operation=True)
+    b.add_procedure("cold_fn", "parser", sizes=[2], kinds=[BlockKind.RETURN], cold=True)
+    return b.build()
+
+
+def make_cfg(program, counts):
+    cfg = WeightedCFG(program.n_blocks)
+    cfg.block_count = np.asarray(counts, dtype=np.int64)
+    return cfg
+
+
+def test_auto_orders_by_popularity(program):
+    # entries: scan=0, helper=2, sort=3, cold=5
+    cfg = make_cfg(program, [10, 10, 500, 90, 90, 0])
+    assert auto_seeds(program, cfg) == [2, 3, 0]
+
+
+def test_auto_excludes_unexecuted(program):
+    cfg = make_cfg(program, [5, 0, 0, 0, 0, 0])
+    assert auto_seeds(program, cfg) == [0]
+
+
+def test_ops_only_operations(program):
+    cfg = make_cfg(program, [10, 10, 500, 90, 90, 3])
+    assert ops_seeds(program, cfg) == [3, 0]
+
+
+def test_ops_excludes_unexecuted_ops(program):
+    cfg = make_cfg(program, [0, 0, 9, 9, 9, 0])
+    assert ops_seeds(program, cfg) == [3]
+
+
+def test_tie_broken_by_block_id(program):
+    cfg = make_cfg(program, [7, 0, 0, 7, 0, 0])
+    assert auto_seeds(program, cfg) == [0, 3]

@@ -1,0 +1,52 @@
+"""Sanity checks on the transcribed paper constants and the harness."""
+
+from repro.experiments.config import (
+    CACHE_CFA_GRID,
+    LAYOUT_COLUMNS,
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PRIMARY_ROWS,
+)
+from repro.experiments.harness import WorkloadSettings
+
+
+def test_grid_matches_paper_rows():
+    assert len(CACHE_CFA_GRID) == 13
+    assert set(PRIMARY_ROWS) <= set(CACHE_CFA_GRID)
+    for cache, cfa in CACHE_CFA_GRID:
+        assert cache in (8, 16, 32, 64)
+        assert 0 < cfa < cache
+
+
+def test_paper_table3_covers_grid():
+    assert set(PAPER_TABLE3) == set(CACHE_CFA_GRID)
+    for row in PRIMARY_ROWS:
+        for column in ("orig", "P&H", "2-way", "victim"):
+            assert column in PAPER_TABLE3[row], (row, column)
+    # miss rate decreases with cache size in the paper's data too
+    origs = [PAPER_TABLE3[row]["orig"] for row in PRIMARY_ROWS]
+    assert origs == sorted(origs, reverse=True)
+
+
+def test_paper_table4_covers_grid_plus_ideal():
+    assert set(PAPER_TABLE4) == set(CACHE_CFA_GRID) | {"Ideal"}
+    assert PAPER_TABLE4["Ideal"]["ops"] == 10.7
+    # paper headline: TC+ops reaches 12.1 at 64KB
+    assert PAPER_TABLE4[(64, 16)]["TC+ops"] == 12.1
+
+
+def test_paper_table1_percentages_consistent():
+    for total, executed, pct in PAPER_TABLE1.values():
+        assert abs(100.0 * executed / total - pct) < 0.1
+
+
+def test_layout_columns_order():
+    assert LAYOUT_COLUMNS == ("orig", "P&H", "Torr", "auto", "ops")
+
+
+def test_workload_settings_hashable_cache_key():
+    a = WorkloadSettings(scale=0.001)
+    b = WorkloadSettings(scale=0.001)
+    assert a == b and hash(a) == hash(b)
+    assert WorkloadSettings(scale=0.002) != a

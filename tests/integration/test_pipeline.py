@@ -1,0 +1,111 @@
+"""End-to-end pipeline tests at a very small scale factor.
+
+These exercise the full paper methodology: build database -> trace queries
+-> profile -> five layouts -> fetch/cache/trace-cache simulation, and check
+the cross-cutting invariants that hold regardless of scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import WorkloadSettings, get_workload, layouts_for, training_profile
+from repro.simulators import (
+    CacheConfig,
+    count_misses,
+    simulate_fetch,
+    simulate_trace_cache,
+)
+
+SCALE = 0.0005
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload(WorkloadSettings(scale=SCALE))
+
+
+@pytest.fixture(scope="module")
+def layouts(workload):
+    return layouts_for(workload, 8, 2)
+
+
+@pytest.fixture(scope="module")
+def fetch_results(workload, layouts):
+    return {
+        name: simulate_fetch(workload.test_trace, workload.program, layout)
+        for name, layout in layouts.items()
+    }
+
+
+def test_all_layouts_complete(workload, layouts):
+    for layout in layouts.values():
+        layout.validate(workload.program)
+
+
+def test_instruction_count_is_layout_invariant(workload, fetch_results):
+    counts = {r.n_instructions for r in fetch_results.values()}
+    assert len(counts) == 1
+    assert counts.pop() == workload.test_trace.n_instructions(workload.program.block_size)
+
+
+def test_trace_events_only_hot_blocks(workload):
+    """Traces never reference cold procedures."""
+    program = workload.program
+    cold_procs = {p.pid for p in program.procedures if p.cold}
+    ids = workload.test_trace.block_ids()
+    touched = set(np.unique(program.block_proc[ids]).tolist())
+    assert not (touched & cold_procs)
+
+
+def test_training_and_test_share_hot_code(workload):
+    train = set(np.unique(workload.training_trace.block_ids()).tolist())
+    test = set(np.unique(workload.test_trace.block_ids()).tolist())
+    overlap = len(train & test) / len(test)
+    assert overlap > 0.5  # the profile is representative
+
+
+def test_reordered_layouts_reduce_taken_branches(workload, fetch_results):
+    for name in ("auto", "ops"):
+        assert fetch_results[name].n_taken < fetch_results["orig"].n_taken
+
+
+def test_reordered_layouts_reduce_misses(workload, fetch_results):
+    config = CacheConfig(size_bytes=8 * 1024)
+    orig = count_misses(fetch_results["orig"].line_chunks, config)
+    for name in ("P&H", "Torr", "auto"):
+        assert count_misses(fetch_results[name].line_chunks, config) < orig
+
+
+def test_bigger_cache_never_increases_dm_misses(fetch_results):
+    # direct-mapped caches can show Belady anomalies in general, but with
+    # doubling (nested) set mappings misses must not increase
+    for result in fetch_results.values():
+        previous = None
+        for kb in (8, 16, 32, 64):
+            misses = count_misses(result.line_chunks, CacheConfig(size_bytes=kb * 1024))
+            if previous is not None:
+                assert misses <= previous
+            previous = misses
+
+
+def test_trace_cache_combination(workload, layouts):
+    tc_orig = simulate_trace_cache(workload.test_trace, workload.program, layouts["orig"])
+    tc_ops = simulate_trace_cache(workload.test_trace, workload.program, layouts["ops"])
+    assert 0.0 < tc_orig.hit_rate < 1.0
+    config = CacheConfig(size_bytes=64 * 1024)
+    assert tc_ops.bandwidth(config) > 0
+    # hits + misses = fetch attempts = base cycles
+    assert tc_orig.n_hits + tc_orig.n_misses == tc_orig.n_cycles_base
+
+
+def test_determinism_end_to_end():
+    a = WorkloadSettings(scale=SCALE).build()
+    b = WorkloadSettings(scale=SCALE).build()
+    np.testing.assert_array_equal(a.training_trace.events, b.training_trace.events)
+    np.testing.assert_array_equal(b.test_trace.events, b.test_trace.events)
+    assert a.program.n_blocks == b.program.n_blocks
+
+
+def test_profile_covers_most_dynamic_instructions(workload):
+    cfg = training_profile(workload)
+    assert int(cfg.block_count.sum()) == workload.training_trace.n_events

@@ -1,0 +1,131 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import BlockKind
+from repro.kernel import Category, RoutineSpec, generate_body
+from repro.util import stream
+
+
+def body_for(sites, decides, seed=1, richness=1.0):
+    spec = RoutineSpec(name=f"r_{sites}_{decides}", module="executor", sites=sites, decides=decides)
+    return generate_body(spec, stream(seed, "t", spec.name), richness=richness)
+
+
+@given(
+    sites=st.integers(min_value=0, max_value=4),
+    decides=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=200),
+    richness=st.sampled_from([0.5, 1.0, 2.5, 4.0]),
+)
+@settings(max_examples=150, deadline=None)
+def test_generated_bodies_always_validate(sites, decides, seed, richness):
+    body = body_for(sites, decides, seed=seed, richness=richness)
+    # validate() raises on malformed bodies; also check invariants directly.
+    assert body.n_blocks >= 2
+    assert body.n_of(Category.CALL) == (0 if sites == 0 else sites)
+    assert body.n_of(Category.DYN) == decides
+    assert body.n_of(Category.RETURN) >= 1
+    assert all(s >= 1 for s in body.size)
+
+
+@given(
+    sites=st.integers(min_value=0, max_value=3),
+    decides=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_hot_walk_reaches_return(sites, decides, seed):
+    """Following default edges (exit intent) from entry must hit a return."""
+    body = body_for(sites, decides, seed=seed)
+    cur = body.entry
+    for _ in range(4 * body.n_blocks + 8):
+        cat = Category(body.cat[cur])
+        if cat == Category.RETURN:
+            break
+        if cat in (Category.JUNCTION, Category.GUARD):
+            cur = body.alt[cur]
+        else:
+            cur = body.hot[cur]
+    else:
+        pytest.fail("exit walk did not terminate")
+
+
+@given(
+    sites=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=60, deadline=None)
+def test_call_walk_reaches_every_site(sites, seed):
+    """Repeatedly advancing with call intent must cycle through all call sites."""
+    body = body_for(sites, 2, seed=seed)
+    cur = body.entry
+    seen_calls = []
+    for _ in range(3 * sites):
+        for _ in range(4 * body.n_blocks + 8):
+            cur = body.hot[cur]
+            if Category(body.cat[cur]) == Category.CALL:
+                seen_calls.append(cur)
+                cur = body.hot[cur]  # resume at the return target
+                break
+        else:
+            pytest.fail("call walk did not reach a call block")
+    assert len(set(seen_calls)) == sites
+
+
+def test_deterministic_generation():
+    a = body_for(2, 3, seed=7)
+    b = body_for(2, 3, seed=7)
+    assert a.cat == b.cat and a.hot == b.hot and a.alt == b.alt and a.size == b.size
+
+
+def test_richness_grows_bodies():
+    small = [body_for(2, 2, seed=s, richness=1.0).n_blocks for s in range(30)]
+    big = [body_for(2, 2, seed=s, richness=3.0).n_blocks for s in range(30)]
+    assert np.mean(big) > np.mean(small)
+
+
+def test_kinds_consistent_with_structure():
+    body = body_for(2, 2, seed=3)
+    for b in range(body.n_blocks):
+        cat = Category(body.cat[b])
+        kind = BlockKind(body.kind[b])
+        if cat == Category.CALL:
+            assert kind == BlockKind.CALL
+        elif cat == Category.RETURN:
+            assert kind == BlockKind.RETURN
+        elif cat in (Category.DYN, Category.FIXED, Category.JUNCTION, Category.GUARD):
+            assert kind == BlockKind.BRANCH
+        elif kind == BlockKind.FALL_THROUGH:
+            assert body.hot[b] == b + 1
+
+
+def test_local_succ_edges_within_body():
+    body = body_for(3, 3, seed=11)
+    succ = body.local_succ()
+    for src, dsts in succ.items():
+        assert 0 <= src < body.n_blocks
+        for d in dsts:
+            assert 0 <= d < body.n_blocks
+
+
+def test_cold_blocks_present_with_fixed_diamonds():
+    # across many seeds, fixed diamonds (and their cold chains) must appear
+    total_cold = sum(body_for(2, 2, seed=s, richness=2.5).n_of(Category.COLD) for s in range(20))
+    assert total_cold > 0
+
+
+def test_invalid_richness_rejected():
+    spec = RoutineSpec(name="x", module="m")
+    with pytest.raises(ValueError):
+        generate_body(spec, stream(1, "x"), richness=0.0)
+
+
+def test_mean_block_size_near_paper():
+    sizes = []
+    for s in range(60):
+        body = body_for(2, 2, seed=s, richness=2.5)
+        sizes.extend(body.size)
+    mean = float(np.mean(sizes))
+    assert 3.0 < mean < 7.0  # paper: ~4.7 instructions per block

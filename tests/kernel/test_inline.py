@@ -1,0 +1,139 @@
+import numpy as np
+import pytest
+
+from repro.cfg import BlockKind
+from repro.kernel import (
+    ColdCodeConfig,
+    InlinePlan,
+    KernelModel,
+    Registry,
+    clone_name,
+    plan_inlining,
+)
+from repro.profiling import profile_trace
+
+
+@pytest.fixture
+def world():
+    """Two callers sharing one hot helper."""
+    reg = Registry()
+
+    @reg.routine("executor", sites=1, decides=0, op=True)
+    def caller_a(n):
+        for _ in range(n):
+            shared()
+
+    @reg.routine("executor", sites=1, decides=0, op=True)
+    def caller_b(n):
+        for _ in range(n):
+            shared()
+
+    @reg.routine("access", sites=0, decides=1)
+    def shared():
+        from repro.kernel import decide
+
+        decide(True)
+
+    return reg, caller_a, caller_b
+
+
+def names_of(reg):
+    return {s.name.split(".")[-1]: s.name for s in reg.specs()}
+
+
+def run_traced(model, caller_a, caller_b, n=20):
+    tracer = model.tracer()
+    with tracer:
+        caller_a(n)
+        caller_b(n)
+    return tracer.take_trace()
+
+
+def test_plan_picks_shared_callee(world):
+    reg, caller_a, caller_b = world
+    model = KernelModel(reg, seed=4, richness=1.0, cold=ColdCodeConfig(n_procedures=4))
+    trace = run_traced(model, caller_a, caller_b)
+    cfg = profile_trace(trace, model.program.n_blocks)
+    plan = plan_inlining(model.program, cfg, min_call_fraction=0.01)
+    callees = {callee for callee, _caller in plan.pairs}
+    assert any("shared" in c for c in callees)
+    assert plan.n_clones >= 2  # one clone per caller
+
+
+def test_clone_route_table(world):
+    reg, *_ = world
+    ns = names_of(reg)
+    plan = InlinePlan(((ns["shared"], ns["caller_a"]),))
+    route = plan.route_table()
+    assert route[(ns["caller_a"], ns["shared"])] == clone_name(ns["shared"], ns["caller_a"])
+
+
+def test_cloned_model_routes_calls(world):
+    reg, caller_a, caller_b = world
+    ns = names_of(reg)
+    clones = ((ns["shared"], ns["caller_a"]),)
+    model = KernelModel(reg, seed=4, richness=1.0, cold=ColdCodeConfig(n_procedures=4), clones=clones)
+    cname = clone_name(ns["shared"], ns["caller_a"])
+    assert cname in model.routine_tables()
+    trace = run_traced(model, caller_a, caller_b, n=5)
+    blocks = set(trace.block_ids().tolist())
+    clone_entry = model.entry_of(cname)
+    base_entry = model.entry_of(ns["shared"])
+    # caller_a's calls hit the clone; caller_b's still hit the base copy
+    assert clone_entry in blocks
+    assert base_entry in blocks
+
+
+def test_clone_only_model_isolates_callers(world):
+    reg, caller_a, caller_b = world
+    ns = names_of(reg)
+    clones = ((ns["shared"], ns["caller_a"]), (ns["shared"], ns["caller_b"]))
+    model = KernelModel(reg, seed=4, richness=1.0, cold=ColdCodeConfig(n_procedures=4), clones=clones)
+    trace = run_traced(model, caller_a, caller_b, n=5)
+    blocks = set(trace.block_ids().tolist())
+    assert model.entry_of(ns["shared"]) not in blocks  # fully replicated
+
+
+def test_clone_grows_static_image(world):
+    reg, *_ = world
+    ns = names_of(reg)
+    base = KernelModel(reg, seed=4, richness=1.0, cold=ColdCodeConfig(n_procedures=4))
+    grown = KernelModel(
+        reg, seed=4, richness=1.0, cold=ColdCodeConfig(n_procedures=4),
+        clones=((ns["shared"], ns["caller_a"]),),
+    )
+    assert grown.program.n_instructions > base.program.n_instructions
+    assert grown.program.n_procedures == base.program.n_procedures + 1
+
+
+def test_clone_adjacent_to_caller(world):
+    reg, *_ = world
+    ns = names_of(reg)
+    model = KernelModel(
+        reg, seed=4, richness=1.0, cold=ColdCodeConfig(n_procedures=4),
+        clones=((ns["shared"], ns["caller_a"]),),
+    )
+    procs = list(model.program.procedures)
+    idx = {p.name: i for i, p in enumerate(procs)}
+    assert idx[clone_name(ns["shared"], ns["caller_a"])] == idx[ns["caller_a"]] + 1
+
+
+def test_clone_unknown_routine_rejected(world):
+    reg, *_ = world
+    with pytest.raises(ValueError):
+        KernelModel(reg, seed=4, richness=1.0, cold=ColdCodeConfig(n_procedures=4), clones=(("ghost", "ghost2"),))
+
+
+def test_empty_plan_when_no_calls():
+    reg = Registry()
+
+    @reg.routine("access", sites=0, decides=1)
+    def lonely():
+        pass
+
+    model = KernelModel(reg, seed=4, richness=1.0, cold=ColdCodeConfig(n_procedures=2))
+    tracer = model.tracer()
+    with tracer:
+        lonely()
+    cfg = profile_trace(tracer.take_trace(), model.program.n_blocks)
+    assert plan_inlining(model.program, cfg).n_clones == 0

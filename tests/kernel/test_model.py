@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.cfg import BlockKind
+from repro.kernel import ColdCodeConfig, KernelModel, Registry
+from repro.kernel.model import COLD_ONLY_MODULES, MODULE_LINK_ORDER
+
+
+def small_registry():
+    reg = Registry()
+
+    @reg.routine("executor", sites=1, decides=1, op=True)
+    def op_a():
+        pass
+
+    @reg.routine("access", sites=0, decides=2)
+    def leaf_b():
+        pass
+
+    return reg
+
+
+def test_empty_registry_rejected():
+    with pytest.raises(ValueError):
+        KernelModel(Registry(), cold=ColdCodeConfig(n_procedures=1))
+
+
+def test_program_contains_hot_and_cold():
+    model = KernelModel(small_registry(), seed=1, richness=1.0, cold=ColdCodeConfig(n_procedures=30))
+    program = model.program
+    assert program.n_procedures == 32
+    hot = [p for p in program.procedures if not p.cold]
+    assert {p.name.split(".")[-1] for p in hot} == {"op_a", "leaf_b"}
+    cold = [p for p in program.procedures if p.cold]
+    assert len(cold) == 30
+
+
+def test_cold_modules_distribution():
+    model = KernelModel(small_registry(), seed=1, richness=1.0, cold=ColdCodeConfig(n_procedures=200))
+    cold_mods = {p.module for p in model.program.procedures if p.cold}
+    # both cold-only and hot modules receive cold procedures
+    assert cold_mods & set(COLD_ONLY_MODULES)
+    assert cold_mods - set(COLD_ONLY_MODULES)
+    for module in cold_mods:
+        assert module in MODULE_LINK_ORDER
+
+
+def test_link_order_groups_modules():
+    model = KernelModel(small_registry(), seed=1, richness=1.0, cold=ColdCodeConfig(n_procedures=50))
+    modules = [p.module for p in model.program.procedures]
+    order = [MODULE_LINK_ORDER.index(m) for m in modules]
+    assert order == sorted(order)
+
+
+def test_deterministic_given_seed():
+    a = KernelModel(small_registry(), seed=9, richness=1.5, cold=ColdCodeConfig(n_procedures=20))
+    b = KernelModel(small_registry(), seed=9, richness=1.5, cold=ColdCodeConfig(n_procedures=20))
+    np.testing.assert_array_equal(a.program.block_size, b.program.block_size)
+    np.testing.assert_array_equal(a.program.block_kind, b.program.block_kind)
+    c = KernelModel(small_registry(), seed=10, richness=1.5, cold=ColdCodeConfig(n_procedures=20))
+    assert a.program.n_blocks != c.program.n_blocks or not np.array_equal(
+        a.program.block_size, c.program.block_size
+    )
+
+
+def test_entry_of_is_procedure_entry():
+    model = KernelModel(small_registry(), seed=1, richness=1.0, cold=ColdCodeConfig(n_procedures=5))
+    program = model.program
+    for proc in program.procedures:
+        if not proc.cold:
+            assert model.entry_of(proc.name) == proc.entry
+
+
+def test_static_kind_mix_sane():
+    model = KernelModel(small_registry(), seed=2, richness=10.0, cold=ColdCodeConfig(n_procedures=100))
+    kinds = model.program.block_kind
+    n = kinds.shape[0]
+    branch_share = (kinds == BlockKind.BRANCH).sum() / n
+    ret_share = (kinds == BlockKind.RETURN).sum() / n
+    assert 0.2 < branch_share < 0.7
+    assert ret_share > 0.005
+
+
+def test_ops_flag_propagates():
+    model = KernelModel(small_registry(), seed=1, richness=1.0, cold=ColdCodeConfig(n_procedures=5))
+    ops = [p for p in model.program.procedures if p.is_operation]
+    assert len(ops) == 1 and ops[0].name.endswith("op_a")

@@ -1,0 +1,76 @@
+import pytest
+
+from repro.kernel import Registry, RoutineSpec, decide, default_registry
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        RoutineSpec(name="x", module="m", sites=-1)
+    with pytest.raises(ValueError):
+        RoutineSpec(name="x", module="m", decides=-2)
+
+
+def test_duplicate_name_rejected():
+    reg = Registry()
+    reg.add(RoutineSpec(name="a", module="m"))
+    with pytest.raises(ValueError):
+        reg.add(RoutineSpec(name="a", module="m"))
+
+
+def test_specs_sorted_by_name():
+    reg = Registry()
+    for name in ("zeta", "alpha", "mid"):
+        reg.add(RoutineSpec(name=name, module="m"))
+    assert [s.name for s in reg.specs()] == ["alpha", "mid", "zeta"]
+
+
+def test_decorator_registers_and_passes_through():
+    reg = Registry()
+
+    @reg.routine("executor", sites=0, name="myfn")
+    def myfn(x):
+        return x * 2
+
+    assert "myfn" in reg
+    assert myfn(21) == 42
+    assert myfn.__kernel_spec__.module == "executor"
+    assert myfn.__name__ == "myfn"
+
+
+def test_clone_is_independent():
+    reg = Registry()
+    reg.add(RoutineSpec(name="a", module="m"))
+    copy = reg.clone()
+    copy.add(RoutineSpec(name="b", module="m"))
+    assert "b" in copy and "b" not in reg
+    assert "a" in copy
+
+
+def test_scope_registers():
+    reg = Registry()
+    scope = reg.scope("x[1]", "access", sites=0, decides=1)
+    assert "x[1]" in reg
+    with scope:  # no tracer active: must be a no-op
+        pass
+
+
+def test_decide_without_tracer_is_passthrough():
+    assert decide(1) is True
+    assert decide("") is False
+    assert decide(None) is False
+
+
+def test_default_registry_contains_minidb_routines():
+    import repro.minidb  # noqa: F401 - triggers registration
+
+    reg = default_registry()
+    assert "ExecSeqScan" in reg
+    assert "ExecQual" in reg
+    assert "ReadBuffer" in reg
+    assert "smgr_read" in reg
+    ops = [s for s in reg.specs() if s.op]
+    names = {s.name for s in ops}
+    # the paper's executor operations (Section 2.1)
+    for op in ("ExecSeqScan", "ExecIndexScan", "ExecNestLoop", "ExecHashJoin",
+               "ExecMergeJoin", "ExecSort", "ExecAgg", "ExecGroup"):
+        assert op in names, op

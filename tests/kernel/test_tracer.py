@@ -1,0 +1,191 @@
+import numpy as np
+import pytest
+
+from repro.cfg import BlockKind
+from repro.kernel import ColdCodeConfig, ContractError, KernelModel, Registry
+from repro.kernel.body import Category
+
+
+@pytest.fixture
+def world():
+    """A tiny instrumented 'engine': parent calls child per item, child decides."""
+    reg = Registry()
+    calls = {}
+
+    @reg.routine("executor", sites=1, decides=0, op=True)
+    def parent(items):
+        return [child(x) for x in items]
+
+    @reg.routine("access", sites=0, decides=1)
+    def child(x):
+        from repro.kernel import decide
+
+        return decide(x > 0)
+
+    model = KernelModel(reg, seed=5, richness=1.0, cold=ColdCodeConfig(n_procedures=4))
+    return reg, model, parent, child
+
+
+def kinds_of(model, trace):
+    return model.program.block_kind[trace.block_ids()]
+
+
+def test_untraced_call_passthrough(world):
+    _, _, parent, _ = world
+    assert parent([1, -1]) == [True, False]
+
+
+def test_trace_structure(world):
+    _, model, parent, _ = world
+    tracer = model.tracer()
+    with tracer:
+        parent([1, -1, 2])
+    trace = tracer.take_trace()
+    assert trace.n_events > 0
+    kinds = kinds_of(model, trace)
+    # one CALL per child invocation, balanced with RETURNs (child + parent returns)
+    assert (kinds == BlockKind.CALL).sum() == 3
+    assert (kinds == BlockKind.RETURN).sum() == 4
+    # first event is the parent's entry block
+    assert trace.block_ids()[0] == model.entry_of("world.<locals>.parent")
+
+
+def test_trace_is_deterministic_given_data(world):
+    _, model, parent, _ = world
+    t1 = model.tracer()
+    with t1:
+        parent([1, -1])
+    a = t1.take_trace()
+    t2 = model.tracer()
+    with t2:
+        parent([1, -1])
+    b = t2.take_trace()
+    np.testing.assert_array_equal(a.events, b.events)
+
+
+def test_decide_outcome_changes_path(world):
+    _, model, parent, _ = world
+    t1 = model.tracer()
+    with t1:
+        parent([1])
+    t2 = model.tracer()
+    with t2:
+        parent([-1])
+    assert not np.array_equal(t1.take_trace().events, t2.take_trace().events)
+
+
+def test_end_run_inserts_separator(world):
+    _, model, parent, _ = world
+    tracer = model.tracer()
+    with tracer:
+        parent([1])
+        tracer.end_run()
+        parent([2])
+    trace = tracer.take_trace()
+    assert (trace.events == -1).sum() == 1
+
+
+def test_all_emitted_blocks_are_warm_categories(world):
+    """COLD blocks must never appear in a trace."""
+    _, model, parent, _ = world
+    tracer = model.tracer()
+    with tracer:
+        parent([3, -3, 5, 0])
+    trace = tracer.take_trace()
+    cats = set()
+    for name, (cat, hot, alt, base, fanout) in model.routine_tables().items():
+        for gid in trace.block_ids():
+            local = gid - base
+            if 0 <= local < len(cat):
+                cats.add(Category(cat[local]))
+    assert Category.COLD not in cats
+
+
+def test_nested_tracers_rejected(world):
+    _, model, parent, _ = world
+    with model.tracer():
+        with pytest.raises(RuntimeError):
+            with model.tracer():
+                pass
+
+
+def test_contract_error_call_without_sites():
+    reg = Registry()
+
+    @reg.routine("executor", sites=0)
+    def bad_parent():
+        return leaf()
+
+    @reg.routine("access", sites=0)
+    def leaf():
+        return 1
+
+    model = KernelModel(reg, seed=1, richness=1.0, cold=ColdCodeConfig(n_procedures=2))
+    with pytest.raises(ContractError, match="call made|sites=0"):
+        with model.tracer():
+            bad_parent()
+
+
+def test_contract_error_decide_without_diamonds():
+    reg = Registry()
+
+    @reg.routine("executor", sites=0, decides=0)
+    def no_dyn():
+        from repro.kernel import decide
+
+        decide(True)
+
+    model = KernelModel(reg, seed=1, richness=1.0, cold=ColdCodeConfig(n_procedures=2))
+    with pytest.raises(ContractError):
+        with model.tracer():
+            no_dyn()
+
+
+def test_decide_outside_routine_ignored(world):
+    _, model, _, _ = world
+    from repro.kernel import decide
+
+    with model.tracer() as tracer:
+        assert decide(True) is True
+        assert tracer.n_events == 0
+
+
+def test_scope_instrumentation():
+    reg = Registry()
+    scope = reg.scope("btree_search[pk]", "access", sites=0, decides=1)
+
+    @reg.routine("executor", sites=1, op=True)
+    def run():
+        with scope:
+            from repro.kernel import decide
+
+            decide(True)
+
+    model = KernelModel(reg, seed=2, richness=1.0, cold=ColdCodeConfig(n_procedures=2))
+    tracer = model.tracer()
+    with tracer:
+        run()
+    trace = tracer.take_trace()
+    assert model.entry_of("btree_search[pk]") in set(trace.block_ids().tolist())
+
+
+def test_scope_reentrant():
+    reg = Registry()
+    scope = reg.scope("recurse", "access", sites=1, decides=0)
+
+    @reg.routine("executor", sites=1, op=True)
+    def run(n):
+        def go(k):
+            with scope:
+                if k:
+                    go(k - 1)
+
+        go(n)
+
+    model = KernelModel(reg, seed=3, richness=1.0, cold=ColdCodeConfig(n_procedures=2))
+    tracer = model.tracer()
+    with tracer:
+        run(3)
+    trace = tracer.take_trace()
+    kinds = model.program.block_kind[trace.block_ids()]
+    assert (kinds == BlockKind.RETURN).sum() == 5  # 4 scope exits + run's return

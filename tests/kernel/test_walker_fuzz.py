@@ -1,0 +1,119 @@
+"""Property-based fuzzing of the trace walker over random call DAGs.
+
+Generates random instrumented programs (routines calling each other along
+a random DAG, with random decide() calls), executes them traced, and
+checks the structural invariants every trace must satisfy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import BlockKind
+from repro.kernel import ColdCodeConfig, KernelModel, Registry, decide
+
+
+def build_random_world(structure, decide_bits):
+    """structure: list over routines of (n_children_edges, decides); edges
+    go from lower to higher index (a DAG), so calls always terminate."""
+    reg = Registry()
+    n = len(structure)
+    funcs = [None] * n
+    bits = iter(decide_bits)
+
+    def make(idx, children, n_decides):
+        def body():
+            for _ in range(n_decides):
+                decide(next(bits, True))
+            for child in children:
+                funcs[child]()
+            if n_decides:
+                decide(next(bits, False))
+
+        body.__name__ = f"r{idx}"
+        body.__qualname__ = f"r{idx}"
+        return body
+
+    for idx in reversed(range(n)):
+        n_edges, n_decides = structure[idx]
+        children = [c for c in range(idx + 1, min(idx + 1 + n_edges, n))]
+        body = make(idx, children, n_decides)
+        sites = max(1, len(children)) if children else 0
+        wrapped = reg.routine("executor", sites=sites, decides=max(1, n_decides) if n_decides else 0, op=idx == 0)(body)
+        funcs[idx] = wrapped
+    return reg, funcs
+
+
+@given(
+    structure=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3)),
+        min_size=1,
+        max_size=8,
+    ),
+    decide_bits=st.lists(st.booleans(), max_size=64),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_call_dags_trace_cleanly(structure, decide_bits, seed):
+    reg, funcs = build_random_world(structure, decide_bits)
+    model = KernelModel(reg, seed=seed, richness=1.0, cold=ColdCodeConfig(n_procedures=2))
+    tracer = model.tracer()
+    with tracer:
+        funcs[0]()
+    trace = tracer.take_trace()
+    assert trace.n_events > 0
+
+    program = model.program
+    ids = trace.block_ids()
+    kinds = program.block_kind[ids]
+
+    # every emitted block belongs to a hot procedure
+    procs = program.block_proc[ids]
+    assert not any(program.procedures[p].cold for p in np.unique(procs))
+
+    # call/return balance: every instrumented entry produces one return;
+    # returns exceed calls exactly by the number of top-level invocations (1)
+    n_calls = int((kinds == BlockKind.CALL).sum())
+    n_returns = int((kinds == BlockKind.RETURN).sum())
+    assert n_returns == n_calls + 1
+
+    # the trace starts at the root's entry block
+    assert ids[0] == model.entry_of(funcs[0].__kernel_spec__.name)
+
+    # determinism: same inputs, same trace
+    tracer2 = model.tracer()
+    reg2, funcs2 = build_random_world(structure, decide_bits)
+    model2 = KernelModel(reg2, seed=seed, richness=1.0, cold=ColdCodeConfig(n_procedures=2))
+    tracer2 = model2.tracer()
+    with tracer2:
+        funcs2[0]()
+    np.testing.assert_array_equal(trace.events, tracer2.take_trace().events)
+
+
+@given(
+    n_calls=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=30, deadline=None)
+def test_repeated_calls_cycle_ring_consistently(n_calls, seed):
+    reg = Registry()
+
+    @reg.routine("executor", sites=2, decides=1, op=True)
+    def parent(n):
+        for i in range(n):
+            decide(i % 2 == 0)
+            child()
+
+    @reg.routine("access", sites=0, decides=0)
+    def child():
+        return None
+
+    model = KernelModel(reg, seed=seed, richness=1.0, cold=ColdCodeConfig(n_procedures=2))
+    tracer = model.tracer()
+    with tracer:
+        parent(n_calls)
+    trace = tracer.take_trace()
+    kinds = model.program.block_kind[trace.block_ids()]
+    assert int((kinds == BlockKind.CALL).sum()) == n_calls
+    assert int((kinds == BlockKind.RETURN).sum()) == n_calls + 1

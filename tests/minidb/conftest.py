@@ -1,0 +1,28 @@
+import pytest
+
+from repro.minidb import Column, ColumnType, Database
+
+I, F, S = ColumnType.INT, ColumnType.FLOAT, ColumnType.STR
+
+
+@pytest.fixture
+def db():
+    """A small two-table database with both index kinds on the keys."""
+    db = Database("test", page_capacity=8, buffer_pages=16)
+    db.create_table(
+        "items",
+        [Column("id", I), Column("cat", I), Column("price", F), Column("name", S)],
+    )
+    db.create_table("cats", [Column("cat_id", I), Column("cat_name", S)])
+    items = db.table("items")
+    cats = db.table("cats")
+    for kind in ("btree", "hash"):
+        items.create_index("id", kind, unique=True)
+        items.create_index("cat", kind)
+        cats.create_index("cat_id", kind, unique=True)
+    db.load("cats", [(c, f"cat{c}") for c in range(5)])
+    db.load(
+        "items",
+        [(i, i % 5, float(i) * 1.25, f"item{i}") for i in range(100)],
+    )
+    return db

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Registry
+from repro.minidb.btree import BTreeIndex
+
+
+def make_index(unique=False, order=4):
+    return BTreeIndex("t", Registry(), unique=unique, order=order)
+
+
+def test_search_empty():
+    idx = make_index()
+    assert idx.search(5) == []
+
+
+def test_insert_and_search():
+    idx = make_index()
+    for i in range(100):
+        idx.insert(i, (0, i))
+    assert idx.search(42) == [(0, 42)]
+    assert idx.search(1000) == []
+    assert idx.n_entries == 100
+
+
+def test_duplicates_accumulate():
+    idx = make_index()
+    idx.insert(7, (0, 1))
+    idx.insert(7, (0, 2))
+    assert sorted(idx.search(7)) == [(0, 1), (0, 2)]
+
+
+def test_unique_rejects_duplicate():
+    idx = make_index(unique=True)
+    idx.insert(7, (0, 1))
+    with pytest.raises(ValueError):
+        idx.insert(7, (0, 2))
+
+
+def test_range_scan_bounds():
+    idx = make_index()
+    for i in range(50):
+        idx.insert(i, (0, i))
+    assert [t[1] for t in idx.range_scan(10, 13)] == [10, 11, 12, 13]
+    assert [t[1] for t in idx.range_scan(10, 13, lo_strict=True)] == [11, 12, 13]
+    assert [t[1] for t in idx.range_scan(10, 13, hi_strict=True)] == [10, 11, 12]
+    assert [t[1] for t in idx.range_scan(None, 2)] == [0, 1, 2]
+    assert [t[1] for t in idx.range_scan(47, None)] == [47, 48, 49]
+
+
+def test_range_scan_missing_bounds_land_correctly():
+    idx = make_index()
+    for i in range(0, 100, 10):
+        idx.insert(i, (0, i))
+    assert [t[1] for t in idx.range_scan(15, 35)] == [20, 30]
+
+
+def test_splits_keep_depth_balanced():
+    idx = make_index(order=4)
+    for i in range(500):
+        idx.insert(i, (0, i))
+    idx.check_invariants()
+    assert idx.depth() >= 3
+
+
+def test_string_keys():
+    idx = make_index()
+    for word in ["pear", "apple", "fig", "banana"]:
+        idx.insert(word, (0, word))
+    assert [t[1] for t in idx.range_scan("b", "f")] == ["banana"]
+
+
+@given(
+    keys=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=400),
+    order=st.sampled_from([4, 8, 64]),
+)
+@settings(max_examples=60, deadline=None)
+def test_btree_matches_sorted_reference(keys, order):
+    idx = BTreeIndex("h", Registry(), order=order)
+    for pos, key in enumerate(keys):
+        idx.insert(key, (0, pos))
+    idx.check_invariants()
+    # every key findable, full scan sorted
+    scan = [k for k in (key for key in sorted(set(keys)))]
+    found = []
+    node_keys = []
+    for key in sorted(set(keys)):
+        tids = idx.search(key)
+        assert sorted(t[1] for t in tids) == sorted(p for p, k in enumerate(keys) if k == key)
+    full = list(idx.range_scan(None, None))
+    assert len(full) == len(keys)
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=200),
+    lo=st.integers(min_value=0, max_value=200),
+    hi=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=60, deadline=None)
+def test_range_scan_matches_filter(keys, lo, hi):
+    if lo > hi:
+        lo, hi = hi, lo
+    idx = BTreeIndex("r", Registry(), order=4)
+    for pos, key in enumerate(keys):
+        idx.insert(key, (0, pos))
+    got = sorted(t[1] for t in idx.range_scan(lo, hi))
+    expect = sorted(p for p, k in enumerate(keys) if lo <= k <= hi)
+    assert got == expect

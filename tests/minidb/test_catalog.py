@@ -1,0 +1,66 @@
+import pytest
+
+from repro.minidb import Column, ColumnType, Database
+
+
+def test_heap_scan_returns_all(db):
+    rows = list(db.table("items").heap_scan())
+    assert len(rows) == 100
+    assert rows[0] == (0, 0, 0.0, "item0")
+
+
+def test_fetch_by_tid(db):
+    table = db.table("items")
+    tid = table.index_on("id").search(42)[0]
+    assert table.fetch(tid)[0] == 42
+
+
+def test_index_maintained_on_insert(db):
+    table = db.table("items")
+    table.insert((1000, 3, 5.0, "new"))
+    assert len(table.index_on("id").search(1000)) == 1
+    assert len(table.index_on("id", "hash").search(1000)) == 1
+
+
+def test_backfill_existing_rows(db):
+    table = db.table("items")
+    table.create_index("price", "btree")
+    hits = table.index_on("price").search(1.25)
+    assert len(hits) == 1
+
+
+def test_duplicate_index_rejected(db):
+    with pytest.raises(ValueError):
+        db.table("items").create_index("id", "btree")
+
+
+def test_unknown_index_kind(db):
+    with pytest.raises(ValueError):
+        db.table("items").create_index("name", "rtree")
+
+
+def test_index_on_missing(db):
+    with pytest.raises(KeyError):
+        db.table("items").index_on("name")
+
+
+def test_schema_validation_on_insert(db):
+    with pytest.raises(TypeError):
+        db.table("items").insert(("x", 0, 1.0, "bad"))
+    with pytest.raises(ValueError):
+        db.table("items").insert((1, 2))
+
+
+def test_duplicate_table_rejected(db):
+    with pytest.raises(ValueError):
+        db.create_table("items", [Column("x", ColumnType.INT)])
+
+
+def test_missing_table(db):
+    with pytest.raises(KeyError):
+        db.table("ghost")
+
+
+def test_rows_span_pages(db):
+    # page_capacity=8, 100 rows -> 13 pages
+    assert db.storage.n_pages(db.table("items").fid) == 13

@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+
+from repro.kernel import ColdCodeConfig
+from repro.minidb import Column, ColumnType, Database
+from repro.minidb.executor import IndexScan, SeqScan, col
+
+
+def test_run_returns_all_rows(db):
+    rows = db.run(SeqScan(db.table("cats")))
+    assert len(rows) == 5
+
+
+def test_registries_isolated_between_databases():
+    a = Database("a")
+    b = Database("b")
+    a.create_table("t", [Column("x", ColumnType.INT)]).create_index("x", "btree")
+    # same table/index names in another database must not collide
+    b.create_table("t", [Column("x", ColumnType.INT)]).create_index("x", "btree")
+    assert "_bt_search[t_x_btree]" in a.registry
+    assert "_bt_search[t_x_btree]" in b.registry
+
+
+def test_kernel_model_includes_index_routines(db):
+    model = db.kernel_model(seed=3, richness=1.0, cold=ColdCodeConfig(n_procedures=5))
+    names = set(model.routine_tables())
+    assert "_bt_search[items_id_btree]" in names
+    assert "_hash_search[items_id_hash]" in names
+    assert "heap_getnext[items]" in names
+    assert "ExecSeqScan" in names
+
+
+def test_traced_query_produces_events(db):
+    model = db.kernel_model(seed=3, richness=1.0, cold=ColdCodeConfig(n_procedures=5))
+    tracer = model.tracer()
+    with tracer:
+        rows = db.run(IndexScan(db.table("items"), "id", lo=0, hi=20))
+    assert len(rows) == 21
+    trace = tracer.take_trace()
+    assert trace.n_events > 100
+    # ops entry (ExecIndexScan) appears in the trace
+    assert model.entry_of("ExecIndexScan") in set(trace.block_ids().tolist())
+
+
+def test_trace_differs_between_index_kinds(db):
+    model = db.kernel_model(seed=3, richness=1.0, cold=ColdCodeConfig(n_procedures=5))
+    traces = {}
+    for kind in ("btree", "hash"):
+        tracer = model.tracer()
+        with tracer:
+            db.run(IndexScan(db.table("items"), "id", index_kind=kind, eq=5))
+        traces[kind] = tracer.take_trace()
+    assert not np.array_equal(traces["btree"].events, traces["hash"].events)
+
+
+def test_untraced_execution_identical_results(db):
+    model = db.kernel_model(seed=3, richness=1.0, cold=ColdCodeConfig(n_procedures=5))
+    plan = SeqScan(db.table("items"), qual=col("price") > 100.0)
+    untraced = db.run(plan)
+    tracer = model.tracer()
+    with tracer:
+        traced = db.run(SeqScan(db.table("items"), qual=col("price") > 100.0))
+    assert untraced == traced

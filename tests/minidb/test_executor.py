@@ -1,0 +1,189 @@
+import pytest
+
+from repro.minidb.executor import (
+    AggSpec,
+    Aggregate,
+    Filter,
+    GroupAggregate,
+    HashJoin,
+    IndexScan,
+    Limit,
+    Material,
+    MergeJoin,
+    NestLoopJoin,
+    Project,
+    Rename,
+    SeqScan,
+    Sort,
+    SortKey,
+    and_,
+    col,
+    const,
+    contains,
+    not_,
+    or_,
+)
+
+
+def run(db, plan):
+    return db.run(plan)
+
+
+def test_seqscan_all(db):
+    assert len(run(db, SeqScan(db.table("items")))) == 100
+
+
+def test_seqscan_qual(db):
+    rows = run(db, SeqScan(db.table("items"), qual=col("price") < 10.0))
+    assert len(rows) == 8
+    assert all(r[2] < 10.0 for r in rows)
+
+
+def test_indexscan_eq_btree_and_hash(db):
+    for kind in ("btree", "hash"):
+        rows = run(db, IndexScan(db.table("items"), "id", index_kind=kind, eq=7))
+        assert rows == [(7, 2, 8.75, "item7")]
+
+
+def test_indexscan_range(db):
+    rows = run(db, IndexScan(db.table("items"), "id", lo=10, hi=13))
+    assert [r[0] for r in rows] == [10, 11, 12, 13]
+
+
+def test_indexscan_range_on_hash_rejected(db):
+    with pytest.raises(ValueError):
+        IndexScan(db.table("items"), "id", index_kind="hash", lo=1, hi=2)
+
+
+def test_project_expressions(db):
+    plan = Project(
+        IndexScan(db.table("items"), "id", eq=4),
+        [(col("id") * 2, "double"), (col("price") + 1.0, "p1")],
+    )
+    assert run(db, plan) == [(8, 6.0)]
+
+
+def test_nestloop_index_join(db):
+    items = SeqScan(db.table("items"), qual=col("id") < 10)
+    cat_idx = items.schema.index_of("cat")
+    inner = IndexScan(db.table("cats"), "cat_id")
+    plan = NestLoopJoin(items, inner, bind=lambda row: {"eq": row[cat_idx]})
+    rows = run(db, plan)
+    assert len(rows) == 10
+    assert all(r[1] == r[4] for r in rows)  # cat == cat_id
+
+
+def test_nestloop_material_inner(db):
+    items = SeqScan(db.table("items"), qual=col("id") < 5)
+    inner = Material(SeqScan(db.table("cats")))
+    plan = NestLoopJoin(items, inner, qual=col("cat") == col("cat_id"))
+    rows = run(db, plan)
+    assert len(rows) == 5
+
+
+def test_hashjoin_matches_nestloop(db):
+    items = SeqScan(db.table("items"), qual=col("id") < 20)
+    plan = HashJoin(items, SeqScan(db.table("cats")), col("cat"), col("cat_id"))
+    rows = run(db, plan)
+    assert len(rows) == 20
+    assert all(r[1] == r[4] for r in rows)
+
+
+def test_mergejoin(db):
+    left = Sort(SeqScan(db.table("items"), qual=col("id") < 20), [SortKey(col("cat"))])
+    right = Sort(SeqScan(db.table("cats")), [SortKey(col("cat_id"))])
+    plan = MergeJoin(left, right, col("cat"), col("cat_id"))
+    rows = run(db, plan)
+    assert len(rows) == 20
+    assert all(r[1] == r[4] for r in rows)
+
+
+def test_mergejoin_many_to_many(db):
+    left = Sort(
+        SeqScan(db.table("items"), qual=and_(col("cat") == 1, col("id") < 30)),
+        [SortKey(col("cat"))],
+    )
+    right = Rename(
+        Sort(
+            SeqScan(db.table("items"), qual=and_(col("cat") == 1, col("id") < 30)),
+            [SortKey(col("cat"))],
+        ),
+        {"id": "rid", "cat": "rcat", "price": "rprice", "name": "rname"},
+    )
+    rows = run(db, MergeJoin(left, right, col("cat"), col("rcat")))
+    # 6 items of cat 1 below id 30, joined all-with-all on equal cat
+    assert len(rows) == 36
+
+
+def test_sort_multi_key(db):
+    plan = Sort(
+        SeqScan(db.table("items"), qual=col("id") < 10),
+        [SortKey(col("cat")), SortKey(col("id"), descending=True)],
+    )
+    rows = run(db, plan)
+    assert [r[1] for r in rows] == sorted(r[1] for r in rows)
+    # within cat 0: ids descending
+    cat0 = [r[0] for r in rows if r[1] == 0]
+    assert cat0 == sorted(cat0, reverse=True)
+
+
+def test_aggregate(db):
+    plan = Aggregate(
+        SeqScan(db.table("items")),
+        [
+            AggSpec("count", None, "n"),
+            AggSpec("sum", col("id"), "s"),
+            AggSpec("min", col("price"), "lo"),
+            AggSpec("max", col("price"), "hi"),
+            AggSpec("avg", col("id"), "mean"),
+        ],
+    )
+    rows = run(db, plan)
+    assert rows == [(100, 4950, 0.0, 99 * 1.25, 49.5)]
+
+
+def test_group_aggregate(db):
+    child = Sort(SeqScan(db.table("items")), [SortKey(col("cat"))])
+    plan = GroupAggregate(
+        child,
+        [(col("cat"), "cat")],
+        [AggSpec("count", None, "n"), AggSpec("sum", col("id"), "s")],
+    )
+    rows = run(db, plan)
+    assert len(rows) == 5
+    assert all(r[1] == 20 for r in rows)
+    assert sum(r[2] for r in rows) == 4950
+
+
+def test_limit(db):
+    assert len(run(db, Limit(SeqScan(db.table("items")), 7))) == 7
+    assert run(db, Limit(SeqScan(db.table("items")), 0)) == []
+
+
+def test_filter_node(db):
+    plan = Filter(SeqScan(db.table("items")), or_(col("id") == 3, col("id") == 96))
+    assert [r[0] for r in run(db, plan)] == [3, 96]
+
+
+def test_rename(db):
+    plan = Rename(SeqScan(db.table("cats")), {"cat_id": "cid"})
+    assert plan.schema.names() == ("cid", "cat_name")
+    assert len(run(db, plan)) == 5
+
+
+def test_rename_unknown_column(db):
+    with pytest.raises(ValueError):
+        Rename(SeqScan(db.table("cats")), {"ghost": "x"})
+
+
+def test_string_expressions(db):
+    plan = SeqScan(db.table("items"), qual=contains(col("name"), "em9"))
+    rows = run(db, plan)
+    # item9, item90..item99
+    assert len(rows) == 11
+
+
+def test_explain_tree(db):
+    plan = Limit(Project(SeqScan(db.table("items")), [(col("id"), "id")]), 1)
+    text = plan.explain()
+    assert "Limit" in text and "Project" in text and "SeqScan" in text

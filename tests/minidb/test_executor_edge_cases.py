@@ -1,0 +1,155 @@
+"""Edge cases across the executor operators."""
+
+import pytest
+
+from repro.minidb import Column, ColumnType, Database
+from repro.minidb.executor import (
+    AggSpec,
+    Aggregate,
+    GroupAggregate,
+    HashJoin,
+    Limit,
+    Material,
+    MergeJoin,
+    NestLoopJoin,
+    Project,
+    Rename,
+    SeqScan,
+    Sort,
+    SortKey,
+    col,
+    const,
+)
+
+I, F, S = ColumnType.INT, ColumnType.FLOAT, ColumnType.STR
+
+
+@pytest.fixture
+def empty_db():
+    db = Database("empty")
+    db.create_table("t", [Column("x", I), Column("y", F)])
+    db.create_table("u", [Column("a", I), Column("b", S)])
+    return db
+
+
+def test_scan_empty_table(empty_db):
+    assert empty_db.run(SeqScan(empty_db.table("t"))) == []
+
+
+def test_aggregate_over_empty(empty_db):
+    rows = empty_db.run(
+        Aggregate(
+            SeqScan(empty_db.table("t")),
+            [AggSpec("count", None, "n"), AggSpec("sum", col("x"), "s"), AggSpec("avg", col("y"), "m")],
+        )
+    )
+    assert rows == [(0, 0, 0.0)]
+
+
+def test_group_aggregate_over_empty(empty_db):
+    plan = GroupAggregate(
+        Sort(SeqScan(empty_db.table("t")), [SortKey(col("x"))]),
+        [(col("x"), "x")],
+        [AggSpec("count", None, "n")],
+    )
+    assert empty_db.run(plan) == []
+
+
+def test_joins_with_empty_sides(empty_db):
+    db = empty_db
+    db.load("t", [(1, 1.0), (2, 2.0)])
+    hj = HashJoin(SeqScan(db.table("t")), SeqScan(db.table("u")), col("x"), col("a"))
+    assert db.run(hj) == []
+    mj = MergeJoin(
+        Sort(SeqScan(db.table("t")), [SortKey(col("x"))]),
+        Sort(SeqScan(db.table("u")), [SortKey(col("a"))]),
+        col("x"),
+        col("a"),
+    )
+    assert db.run(mj) == []
+    nl = NestLoopJoin(SeqScan(db.table("t")), Material(SeqScan(db.table("u"))))
+    assert db.run(nl) == []
+
+
+def test_sort_empty_and_single(empty_db):
+    db = empty_db
+    assert db.run(Sort(SeqScan(db.table("t")), [SortKey(col("x"))])) == []
+    db.load("t", [(5, 0.5)])
+    assert db.run(Sort(SeqScan(db.table("t")), [SortKey(col("x"))])) == [(5, 0.5)]
+
+
+def test_sort_requires_key(empty_db):
+    with pytest.raises(ValueError):
+        Sort(SeqScan(empty_db.table("t")), [])
+
+
+def test_aggspec_validation():
+    with pytest.raises(ValueError):
+        AggSpec("median", col("x"), "m")
+    with pytest.raises(ValueError):
+        AggSpec("sum", None, "s")
+
+
+def test_project_requires_exprs(empty_db):
+    with pytest.raises(ValueError):
+        Project(SeqScan(empty_db.table("t")), [])
+
+
+def test_group_requires_keys(empty_db):
+    with pytest.raises(ValueError):
+        GroupAggregate(SeqScan(empty_db.table("t")), [], [AggSpec("count", None, "n")])
+
+
+def test_limit_validation(empty_db):
+    with pytest.raises(ValueError):
+        Limit(SeqScan(empty_db.table("t")), -1)
+
+
+def test_material_replays_without_reexecution(empty_db):
+    db = empty_db
+    db.load("u", [(1, "a"), (2, "b")])
+    inner = Material(SeqScan(db.table("u")))
+    inner.open()
+    first = []
+    while (r := inner.next()) is not None:
+        first.append(r)
+    reads_before = db.storage.reads
+    inner.rescan()
+    second = []
+    while (r := inner.next()) is not None:
+        second.append(r)
+    assert first == second
+    assert db.storage.reads == reads_before  # no heap re-read
+
+
+def test_min_max_on_strings(empty_db):
+    db = empty_db
+    db.load("u", [(1, "pear"), (2, "apple"), (3, "fig")])
+    rows = db.run(
+        Aggregate(
+            SeqScan(db.table("u")),
+            [AggSpec("min", col("b"), "lo"), AggSpec("max", col("b"), "hi")],
+        )
+    )
+    assert rows == [("apple", "pear")]
+
+
+def test_group_aggregate_computed_group_key(empty_db):
+    db = empty_db
+    db.load("t", [(i, float(i)) for i in range(10)])
+    plan = GroupAggregate(
+        Sort(SeqScan(db.table("t")), [SortKey(col("x") // 5)]),
+        [(col("x") // 5, "bucket")],
+        [AggSpec("count", None, "n")],
+    )
+    assert db.run(plan) == [(0, 5), (1, 5)]
+
+
+def test_rename_passthrough_rescan(empty_db):
+    db = empty_db
+    db.load("u", [(1, "a")])
+    node = Rename(Material(SeqScan(db.table("u"))), {"a": "aa"})
+    node.open()
+    assert node.next() == (1, "a")
+    node.rescan()
+    assert node.next() == (1, "a")

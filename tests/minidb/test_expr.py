@@ -1,0 +1,103 @@
+import pytest
+
+from repro.minidb.executor.expr import (
+    and_,
+    between,
+    col,
+    const,
+    contains,
+    not_,
+    or_,
+    startswith,
+)
+from repro.minidb.tuples import Column, ColumnType, Schema
+
+SCHEMA = Schema(
+    [
+        Column("a", ColumnType.INT),
+        Column("b", ColumnType.FLOAT),
+        Column("s", ColumnType.STR),
+        Column("d", ColumnType.DATE),
+    ]
+)
+ROW = (10, 2.5, "hello world", 365)
+
+
+def ev(expr):
+    return expr.compile(SCHEMA)(ROW)
+
+
+def test_column_and_const():
+    assert ev(col("a")) == 10
+    assert ev(const(7)) == 7
+
+
+def test_comparisons():
+    assert ev(col("a") < 11) is True
+    assert ev(col("a") <= 10) is True
+    assert ev(col("a") > 10) is False
+    assert ev(col("a") >= 11) is False
+    assert ev(col("a") == 10) is True
+    assert ev(col("a") != 10) is False
+
+
+def test_arithmetic():
+    assert ev(col("a") + 5) == 15
+    assert ev(col("a") - 1) == 9
+    assert ev(col("a") * col("b")) == 25.0
+    assert ev(col("a") / 4) == 2.5
+    assert ev(col("d") // 100) == 3
+    assert ev(1.0 - col("b")) == -1.5
+    assert ev(2 * col("a")) == 20
+    assert ev(100 + col("a")) == 110
+
+
+def test_bool_ops():
+    assert ev(and_(col("a") == 10, col("b") > 2.0)) is True
+    assert ev(and_(col("a") == 10, col("b") > 3.0)) is False
+    assert ev(or_(col("a") == 99, col("b") > 2.0)) is True
+    assert ev(not_(col("a") == 10)) is False
+
+
+def test_between():
+    assert ev(between(col("b"), 2.0, 3.0)) is True
+    assert ev(between(col("b"), 2.6, 3.0)) is False
+
+
+def test_string_matching():
+    assert ev(contains(col("s"), "lo wo")) is True
+    assert ev(contains(col("s"), "xyz")) is False
+    assert ev(startswith(col("s"), "hell")) is True
+    assert ev(startswith(col("s"), "world")) is False
+
+
+def test_comparison_as_int_multiplier():
+    # used by Q8/Q12/Q14: bool * value sums conditionals
+    assert ev((col("a") == 10) * col("b")) == 2.5
+    assert ev((col("a") == 11) * col("b")) == 0.0
+
+
+def test_column_types():
+    from repro.minidb.tuples import ColumnType as T
+
+    assert col("b").column_type(SCHEMA) == T.FLOAT
+    assert (col("a") + col("a")).column_type(SCHEMA) == T.INT
+    assert (col("a") * col("b")).column_type(SCHEMA) == T.FLOAT
+    assert (col("a") / 2).column_type(SCHEMA) == T.FLOAT
+    assert (col("a") == 1).column_type(SCHEMA) == T.INT
+    assert const("x").column_type(SCHEMA) == T.STR
+
+
+def test_unknown_column_fails_at_compile():
+    with pytest.raises(KeyError):
+        col("ghost").compile(SCHEMA)
+
+
+def test_empty_boolop_rejected():
+    with pytest.raises(ValueError):
+        and_()
+
+
+def test_repr_roundtrippable_text():
+    text = repr(and_(col("a") < 5, contains(col("s"), "x")))
+    assert "a" in text and "contains" in text

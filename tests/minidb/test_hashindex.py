@@ -1,0 +1,55 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Registry
+from repro.minidb.hashindex import HashIndex
+
+
+def make_index(unique=False):
+    return HashIndex("h", Registry(), unique=unique)
+
+
+def test_search_missing():
+    assert make_index().search("nope") == []
+
+
+def test_insert_search_roundtrip():
+    idx = make_index()
+    for i in range(500):
+        idx.insert(i, (0, i))
+    assert idx.search(123) == [(0, 123)]
+    assert idx.n_entries == 500
+
+
+def test_growth_keeps_entries():
+    idx = make_index()
+    for i in range(1000):  # forces several _grow() doublings
+        idx.insert(i, (0, i))
+    assert idx._n_buckets > 64
+    for i in (0, 500, 999):
+        assert idx.search(i) == [(0, i)]
+
+
+def test_duplicates_and_unique():
+    idx = make_index()
+    idx.insert("k", (0, 1))
+    idx.insert("k", (0, 2))
+    assert sorted(idx.search("k")) == [(0, 1), (0, 2)]
+    uniq = make_index(unique=True)
+    uniq.insert("k", (0, 1))
+    with pytest.raises(ValueError):
+        uniq.insert("k", (0, 2))
+
+
+@given(keys=st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_matches_dict_reference(keys):
+    idx = make_index()
+    reference: dict[int, list] = {}
+    for pos, key in enumerate(keys):
+        idx.insert(key, (0, pos))
+        reference.setdefault(key, []).append((0, pos))
+    for key in set(keys):
+        assert idx.search(key) == reference[key]
+    assert idx.search(999) == []

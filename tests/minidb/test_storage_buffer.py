@@ -1,0 +1,75 @@
+import pytest
+
+from repro.minidb.buffer import BufferManager
+from repro.minidb.storage import Page, StorageManager
+
+
+def test_page_capacity():
+    page = Page(capacity=2)
+    assert page.add(("a",)) == 0
+    assert page.add(("b",)) == 1
+    assert page.full
+    with pytest.raises(ValueError):
+        page.add(("c",))
+
+
+def test_storage_files_are_independent():
+    s = StorageManager(page_capacity=4)
+    f1, f2 = s.create_file(), s.create_file()
+    s.extend(f1)
+    assert s.n_pages(f1) == 1
+    assert s.n_pages(f2) == 0
+
+
+def test_storage_read_counts():
+    s = StorageManager(page_capacity=4)
+    f = s.create_file()
+    s.extend(f)
+    s.read_page(f, 0)
+    s.read_page(f, 0)
+    assert s.reads == 2
+
+
+def test_buffer_hit_and_miss():
+    s = StorageManager(page_capacity=4)
+    f = s.create_file()
+    for _ in range(3):
+        s.extend(f)
+    b = BufferManager(s, capacity=2)
+    b.get_page(f, 0)
+    b.get_page(f, 0)
+    assert b.hits == 1 and b.misses == 1
+    assert b.hit_rate == pytest.approx(0.5)
+
+
+def test_buffer_lru_eviction():
+    s = StorageManager(page_capacity=4)
+    f = s.create_file()
+    for _ in range(3):
+        s.extend(f)
+    b = BufferManager(s, capacity=2)
+    b.get_page(f, 0)
+    b.get_page(f, 1)
+    b.get_page(f, 0)  # touch 0: now 1 is LRU
+    b.get_page(f, 2)  # evicts 1
+    b.get_page(f, 0)  # still cached
+    assert b.misses == 3
+    b.get_page(f, 1)  # was evicted
+    assert b.misses == 4
+
+
+def test_buffer_capacity_validation():
+    s = StorageManager()
+    with pytest.raises(ValueError):
+        BufferManager(s, capacity=0)
+
+
+def test_buffer_invalidate():
+    s = StorageManager(page_capacity=4)
+    f = s.create_file()
+    s.extend(f)
+    b = BufferManager(s, capacity=4)
+    b.get_page(f, 0)
+    b.invalidate(f)
+    b.get_page(f, 0)
+    assert b.misses == 2

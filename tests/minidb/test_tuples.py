@@ -1,0 +1,56 @@
+import pytest
+
+from repro.minidb.tuples import Column, ColumnType, Schema
+
+I, F, S, D = ColumnType.INT, ColumnType.FLOAT, ColumnType.STR, ColumnType.DATE
+
+
+def make_schema():
+    return Schema([Column("a", I), Column("b", F), Column("s", S), Column("d", D)])
+
+
+def test_index_of_and_contains():
+    schema = make_schema()
+    assert schema.index_of("b") == 1
+    assert "s" in schema and "ghost" not in schema
+    with pytest.raises(KeyError):
+        schema.index_of("ghost")
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        Schema([Column("x", I), Column("x", F)])
+
+
+def test_concat_and_project():
+    a = Schema([Column("a", I)])
+    b = Schema([Column("b", F)])
+    joined = a.concat(b)
+    assert joined.names() == ("a", "b")
+    assert joined.project(["b"]).names() == ("b",)
+    with pytest.raises(ValueError):
+        a.concat(a)  # duplicate names
+
+
+def test_validate_row_types():
+    schema = make_schema()
+    schema.validate_row((1, 2.0, "x", 100))
+    with pytest.raises(TypeError):
+        schema.validate_row((1.5, 2.0, "x", 100))  # float in INT column
+    with pytest.raises(TypeError):
+        schema.validate_row((1, 2, "x", 100))  # int in FLOAT column
+    with pytest.raises(ValueError):
+        schema.validate_row((1, 2.0, "x"))  # arity
+
+
+def test_bool_rejected_as_int():
+    schema = Schema([Column("flag", I)])
+    with pytest.raises(TypeError):
+        schema.validate_row((True,))
+
+
+def test_date_is_int_day():
+    schema = Schema([Column("d", D)])
+    schema.validate_row((730,))
+    with pytest.raises(TypeError):
+        schema.validate_row(("1995-01-01",))

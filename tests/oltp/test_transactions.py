@@ -1,0 +1,106 @@
+import pytest
+
+from repro.minidb import Database
+from repro.oltp import populate_oltp
+from repro.oltp.schema import customer_key, district_key, stock_key
+from repro.oltp.transactions import new_order, order_status, payment, run_mix
+
+
+@pytest.fixture(scope="module")
+def db():
+    db = Database("oltp-test")
+    populate_oltp(db, warehouses=2, customers_per_district=20, n_items=50)
+    return db
+
+
+def test_populate_counts(db):
+    assert db.table("item").n_rows == 50
+    assert db.table("warehouse").n_rows == 2
+    assert db.table("district").n_rows == 20
+    assert db.table("tpcc_customer").n_rows == 2 * 10 * 20
+    assert db.table("stock").n_rows == 50 * 2
+    assert db.table("oorder").n_rows == 0
+
+
+def test_new_order_advances_district_counter(db):
+    d_key = district_key(1, 1)
+    before = db.table("district").index_on("d_key").search(d_key)[0]
+    next_before = db.table("district").fetch(before)[4]
+    o_id = new_order(db, 1, 1, 5, [(1, 3), (2, 1)])
+    assert o_id == next_before
+    after = db.table("district").fetch(before)[4]
+    assert after == next_before + 1
+
+
+def test_new_order_creates_lines_and_updates_stock(db):
+    stock_tid = db.table("stock").index_on("s_key").search(stock_key(3, 1))[0]
+    qty_before = db.table("stock").fetch(stock_tid)[3]
+    o_id = new_order(db, 1, 2, 7, [(3, 4)])
+    qty_after = db.table("stock").fetch(stock_tid)[3]
+    assert qty_after in (qty_before - 4, qty_before - 4 + 91)
+    lines = db.table("order_line").index_on("ol_o_key").search(
+        district_key(1, 2) * 1_000_000 + o_id
+    )
+    assert len(lines) == 1
+
+
+def test_payment_updates_balances(db):
+    c_key = customer_key(2, 3, 11)
+    tid = db.table("tpcc_customer").index_on("c_key").search(c_key)[0]
+    before = db.table("tpcc_customer").fetch(tid)
+    new_balance = payment(db, 2, 3, 11, 50.0)
+    after = db.table("tpcc_customer").fetch(tid)
+    assert new_balance == pytest.approx(before[5] - 50.0)
+    assert after[6] == pytest.approx(before[6] + 50.0)
+    assert after[7] == before[7] + 1
+    assert db.table("history").n_rows >= 1
+
+
+def test_payment_updates_warehouse_ytd(db):
+    w_tid = db.table("warehouse").index_on("w_id").search(1)[0]
+    ytd_before = db.table("warehouse").fetch(w_tid)[3]
+    payment(db, 1, 1, 1, 25.0)
+    assert db.table("warehouse").fetch(w_tid)[3] == pytest.approx(ytd_before + 25.0)
+
+
+def test_order_status_returns_latest(db):
+    new_order(db, 1, 4, 9, [(5, 2)])
+    o2 = new_order(db, 1, 4, 9, [(6, 1), (7, 2)])
+    balance, lines = order_status(db, 1, 4, 9)
+    assert len(lines) == 2  # the second (latest) order has two lines
+    assert isinstance(balance, float)
+
+
+def test_order_status_no_orders(db):
+    balance, lines = order_status(db, 2, 9, 19)
+    assert lines == []
+
+
+def test_run_mix_counts():
+    db = Database("mix")
+    populate_oltp(db, warehouses=1, customers_per_district=10, n_items=30)
+    executed = run_mix(db, 60, warehouses=1, customers_per_district=10, n_items=30)
+    assert sum(executed.values()) == 60
+    assert executed["new_order"] > 0 and executed["payment"] > 0
+    assert db.table("oorder").n_rows == executed["new_order"]
+
+
+def test_hash_index_kind_works():
+    db = Database("hashmix")
+    populate_oltp(db, warehouses=1, customers_per_district=10, n_items=30)
+    o_id = new_order(db, 1, 1, 2, [(4, 2)], index_kind="hash")
+    assert o_id == 1
+    payment(db, 1, 1, 2, 10.0, index_kind="hash")
+
+
+def test_update_rejects_indexed_column_change(db):
+    table = db.table("tpcc_customer")
+    tid = table.index_on("c_key").search(customer_key(1, 1, 2))[0]
+    row = table.fetch(tid)
+    with pytest.raises(ValueError):
+        table.update(tid, (row[0] + 1,) + row[1:])
+
+
+def test_populate_validates_warehouses():
+    with pytest.raises(ValueError):
+        populate_oltp(Database("bad"), warehouses=0)

@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.cfg import BlockKind, ProgramBuilder, WeightedCFG
+from repro.profiling import BlockTrace, kind_mix, profile_trace, transition_determinism
+
+
+@pytest.fixture
+def program():
+    b = ProgramBuilder()
+    # f: fall-through -> branch -> call ; then return
+    b.add_procedure(
+        "f",
+        "m",
+        sizes=[2, 2, 2, 2],
+        kinds=[BlockKind.FALL_THROUGH, BlockKind.BRANCH, BlockKind.CALL, BlockKind.RETURN],
+    )
+    b.add_procedure("g", "m", sizes=[2], kinds=[BlockKind.RETURN])
+    return b.build()
+
+
+def make_profile(program, runs):
+    trace = BlockTrace.concatenate([BlockTrace(r) for r in runs])
+    return profile_trace(trace, program.n_blocks)
+
+
+def test_kind_mix_static_and_dynamic(program):
+    # fixed branch: block 1 always goes to 2
+    cfg = make_profile(program, [[0, 1, 2, 4, 3]] * 4)
+    mix = kind_mix(program, cfg)
+    assert mix.static[BlockKind.FALL_THROUGH] == pytest.approx(1 / 5)
+    assert mix.dynamic[BlockKind.RETURN] == pytest.approx(2 / 5)
+    assert mix.predictable[BlockKind.BRANCH] == 1.0
+    assert mix.overall_predictable == pytest.approx(1.0)
+
+
+def test_variable_branch_detected(program):
+    # branch block 1 alternates between 2 and 3
+    runs = [[0, 1, 2, 4, 3], [0, 1, 3]] * 3
+    cfg = make_profile(program, runs)
+    mix = kind_mix(program, cfg, fixed_threshold=0.95)
+    assert mix.predictable[BlockKind.BRANCH] == 0.0
+    assert 0.0 < mix.overall_predictable < 1.0
+
+
+def test_threshold_changes_classification(program):
+    # 9:1 split is fixed at threshold 0.9 but not at 0.95
+    runs = [[0, 1, 2, 4, 3]] * 9 + [[0, 1, 3]]
+    cfg = make_profile(program, runs)
+    assert kind_mix(program, cfg, fixed_threshold=0.9).predictable[BlockKind.BRANCH] == 1.0
+    assert kind_mix(program, cfg, fixed_threshold=0.95).predictable[BlockKind.BRANCH] == 0.0
+
+
+def test_executed_only_restricts_static(program):
+    cfg = make_profile(program, [[0, 1, 3]])  # blocks 2 and 4 never run
+    mix = kind_mix(program, cfg, executed_only=True)
+    assert mix.static[BlockKind.CALL] == 0.0
+    mix_all = kind_mix(program, cfg, executed_only=False)
+    assert mix_all.static[BlockKind.CALL] == pytest.approx(1 / 5)
+
+
+def test_transition_determinism(program):
+    runs = [[0, 1, 2, 4, 3], [0, 1, 3]]
+    cfg = make_profile(program, runs)
+    # block 0: always ->1 (2 transitions fixed); block 1: 50/50 (2 not fixed);
+    # block 2 ->4 (1 fixed); block 4 ->3 (1 fixed). total 6, fixed 4.
+    assert transition_determinism(cfg) == pytest.approx(4 / 6)

@@ -1,0 +1,44 @@
+import numpy as np
+import pytest
+
+from repro.profiling import BlockTrace, profile_trace
+
+
+def test_counts_and_edges():
+    t = BlockTrace([0, 1, 0, 1, 2])
+    cfg = profile_trace(t, 3)
+    np.testing.assert_array_equal(cfg.block_count, [2, 2, 1])
+    assert cfg.edge_count(0, 1) == 2
+    assert cfg.edge_count(1, 0) == 1
+    assert cfg.edge_count(1, 2) == 1
+
+
+def test_no_edge_across_separator():
+    t = BlockTrace.concatenate([BlockTrace([0, 1]), BlockTrace([2, 0])])
+    cfg = profile_trace(t, 3)
+    assert cfg.edge_count(1, 2) == 0
+    assert cfg.edge_count(0, 1) == 1
+    assert cfg.edge_count(2, 0) == 1
+    np.testing.assert_array_equal(cfg.block_count, [2, 1, 1])
+
+
+def test_empty_trace():
+    cfg = profile_trace(BlockTrace([]), 4)
+    assert cfg.n_edges == 0
+    assert cfg.block_count.sum() == 0
+
+
+def test_single_event():
+    cfg = profile_trace(BlockTrace([3]), 4)
+    assert cfg.block_count[3] == 1
+    assert cfg.n_edges == 0
+
+
+def test_out_of_range_block_rejected():
+    with pytest.raises(ValueError):
+        profile_trace(BlockTrace([0, 7]), 3)
+
+
+def test_self_loop_recorded():
+    cfg = profile_trace(BlockTrace([1, 1, 1]), 2)
+    assert cfg.edge_count(1, 1) == 2

@@ -1,0 +1,51 @@
+import numpy as np
+import pytest
+
+from repro.profiling import SEPARATOR, BlockTrace
+
+
+def test_basic_properties():
+    t = BlockTrace([0, 1, 2, 1])
+    assert len(t) == 4
+    assert t.n_events == 4
+    np.testing.assert_array_equal(t.block_ids(), [0, 1, 2, 1])
+
+
+def test_concatenate_inserts_separators():
+    t = BlockTrace.concatenate([BlockTrace([0, 1]), BlockTrace([2])])
+    np.testing.assert_array_equal(t.events, [0, 1, SEPARATOR, 2])
+    assert t.n_events == 3
+
+
+def test_concatenate_empty():
+    t = BlockTrace.concatenate([])
+    assert len(t) == 0 and t.n_events == 0
+
+
+def test_segments_roundtrip():
+    t = BlockTrace.concatenate([BlockTrace([0, 1]), BlockTrace([2, 3])])
+    segs = [list(s) for s in t.segments()]
+    assert segs == [[0, 1], [2, 3]]
+
+
+def test_n_instructions():
+    sizes = np.array([10, 20, 30], dtype=np.int32)
+    t = BlockTrace.concatenate([BlockTrace([0, 2]), BlockTrace([1])])
+    assert t.n_instructions(sizes) == 60
+
+
+def test_instruction_positions_skip_separator():
+    sizes = np.array([5, 7], dtype=np.int32)
+    t = BlockTrace.concatenate([BlockTrace([0, 1]), BlockTrace([0])])
+    np.testing.assert_array_equal(t.instruction_positions(sizes), [0, 5, 12])
+
+
+def test_rejects_bad_ids():
+    with pytest.raises(ValueError):
+        BlockTrace([0, -2])
+
+
+def test_immutable():
+    t = BlockTrace([0, 1])
+    with pytest.raises(ValueError):
+        t.events[0] = 5

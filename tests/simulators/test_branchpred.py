@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.cfg import BlockKind, Layout, ProgramBuilder
+from repro.profiling import BlockTrace
+from repro.simulators.branchpred import BimodalPredictor, evaluate_prediction
+
+
+def test_predictor_validation():
+    with pytest.raises(ValueError):
+        BimodalPredictor(n_entries=100)  # not a power of two
+
+
+def test_counter_saturation():
+    p = BimodalPredictor(n_entries=4)
+    addr = 0
+    assert p.predict(addr) is False  # initialized weakly not-taken
+    p.update(addr, True)
+    assert p.predict(addr) is True
+    for _ in range(5):
+        p.update(addr, True)
+    p.update(addr, False)
+    assert p.predict(addr) is True  # hysteresis survives one not-taken
+
+
+def test_biased_branch_learned():
+    p = BimodalPredictor(n_entries=16)
+    correct = 0
+    for i in range(100):
+        taken = i % 10 != 0  # 90% taken
+        if p.predict(4) == taken:
+            correct += 1
+        p.update(4, taken)
+    assert correct >= 85
+
+
+def test_alternating_branch_defeats_bimodal():
+    p = BimodalPredictor(n_entries=16)
+    correct = 0
+    for i in range(100):
+        taken = bool(i % 2)
+        if p.predict(4) == taken:
+            correct += 1
+        p.update(4, taken)
+    assert correct <= 60
+
+
+@pytest.fixture
+def world():
+    b = ProgramBuilder()
+    b.add_procedure(
+        "f",
+        "m",
+        sizes=[4, 4, 4],
+        kinds=[BlockKind.BRANCH, BlockKind.BRANCH, BlockKind.RETURN],
+    )
+    return b.build()
+
+
+def test_evaluate_sequential_layout_all_not_taken(world):
+    layout = Layout.original(world)
+    trace = BlockTrace([0, 1, 2] * 50)
+    r = evaluate_prediction(trace, world, layout)
+    # 0->1 and 1->2 are sequential: never taken, quickly learned
+    assert r.taken_fraction == 0.0
+    assert r.accuracy > 0.95
+
+
+def test_evaluate_scattered_layout_all_taken(world):
+    layout = Layout.from_placements(world, {0: 0, 1: 512, 2: 1024}, name="scatter")
+    trace = BlockTrace([0, 1, 2] * 50)
+    r = evaluate_prediction(trace, world, layout)
+    assert r.taken_fraction == 1.0
+    assert r.accuracy > 0.9  # always-taken is also easy
+
+
+def test_separators_excluded(world):
+    layout = Layout.original(world)
+    trace = BlockTrace.concatenate([BlockTrace([0, 1]), BlockTrace([0, 1])])
+    r = evaluate_prediction(trace, world, layout)
+    assert r.n_branches == 2  # only the 0->1 transitions
+
+
+def test_max_events_cap(world):
+    layout = Layout.original(world)
+    trace = BlockTrace([0, 1, 2] * 100)
+    full = evaluate_prediction(trace, world, layout)
+    capped = evaluate_prediction(trace, world, layout, max_events=30)
+    assert capped.n_branches < full.n_branches
+
+
+def test_empty_trace(world):
+    r = evaluate_prediction(BlockTrace([]), world, Layout.original(world))
+    assert r.n_branches == 0 and r.accuracy == 1.0

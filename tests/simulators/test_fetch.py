@@ -1,0 +1,135 @@
+import numpy as np
+import pytest
+
+from repro.cfg import BlockKind, Layout, ProgramBuilder
+from repro.profiling import BlockTrace
+from repro.simulators import simulate_fetch
+from repro.simulators.fetch import instruction_chunks
+
+
+def straight_program(sizes, kinds):
+    b = ProgramBuilder()
+    b.add_procedure("f", "executor", sizes=sizes, kinds=kinds)
+    return b.build()
+
+
+def test_single_block_one_fetch():
+    p = straight_program([8], [BlockKind.RETURN])
+    layout = Layout.original(p)
+    r = simulate_fetch(BlockTrace([0]), p, layout)
+    # 8 instructions, line-aligned: one 16-wide fetch would cover them, but
+    # the return is a taken branch ending the (only) fetch
+    assert r.n_instructions == 8
+    assert r.n_fetches == 1
+    assert r.n_taken == 1
+
+
+def test_sequential_blocks_fetch_together():
+    # two fall-through blocks of 4 = 8 sequential instructions -> 1 fetch
+    p = straight_program([4, 4], [BlockKind.FALL_THROUGH, BlockKind.RETURN])
+    layout = Layout.original(p)
+    r = simulate_fetch(BlockTrace([0, 1]), p, layout)
+    assert r.n_fetches == 1
+    assert r.n_taken == 1  # only the final return
+
+
+def test_taken_branch_splits_fetches():
+    # block 1 placed away from block 0 -> the transition is taken
+    p = straight_program([4, 4], [BlockKind.BRANCH, BlockKind.RETURN])
+    layout = Layout.from_placements(p, {0: 0, 1: 256}, name="gap")
+    r = simulate_fetch(BlockTrace([0, 1]), p, layout)
+    assert r.n_fetches == 2
+    assert r.n_taken == 2
+
+
+def test_fall_through_moved_away_counts_as_taken():
+    p = straight_program([4, 4], [BlockKind.FALL_THROUGH, BlockKind.RETURN])
+    layout = Layout.from_placements(p, {0: 0, 1: 256}, name="gap")
+    r = simulate_fetch(BlockTrace([0, 1]), p, layout)
+    # the layout broke the fall-through: an implicit jump is taken
+    assert r.n_taken == 2
+    assert r.n_fetches == 2
+
+
+def test_width_limit():
+    # 20 sequential instructions, no branches until the end: the 16-wide
+    # unit needs 2 fetches
+    p = straight_program([20], [BlockKind.RETURN])
+    layout = Layout.original(p)
+    r = simulate_fetch(BlockTrace([0]), p, layout)
+    assert r.n_fetches == 2
+
+
+def test_three_branch_limit():
+    # four not-taken branch blocks of 2 instructions, all sequential:
+    # the fourth branch cannot enter the same fetch
+    kinds = [BlockKind.BRANCH] * 4 + [BlockKind.RETURN]
+    p = straight_program([2, 2, 2, 2, 4], kinds)
+    layout = Layout.original(p)
+    r = simulate_fetch(BlockTrace([0, 1, 2, 3, 4]), p, layout)
+    # fetch 1: blocks 0,1,2 (3 branches); fetch 2: block 3 + return
+    assert r.n_fetches == 2
+
+
+def test_line_pair_limit():
+    # start mid-line: a fetch from offset 4 instructions into a line can
+    # supply at most 12 instructions (2 lines of 8, minus the 4 skipped)
+    p = straight_program([4, 14], [BlockKind.BRANCH, BlockKind.RETURN])
+    layout = Layout.from_placements(p, {0: 256, 1: 16}, name="midline")
+    # trace: block 1 alone, starting at byte 16 = instruction 4 of line 0
+    r = simulate_fetch(BlockTrace([1]), p, layout)
+    # 14 instructions from a mid-line start: 12 then 2
+    assert r.n_fetches == 2
+
+
+def test_line_accesses_two_per_fetch():
+    p = straight_program([8], [BlockKind.RETURN])
+    layout = Layout.original(p)
+    r = simulate_fetch(BlockTrace([0]), p, layout)
+    lines = np.concatenate(r.line_chunks)
+    np.testing.assert_array_equal(lines, [0, 1])
+
+
+def test_separator_breaks_sequence():
+    p = straight_program([4, 4], [BlockKind.FALL_THROUGH, BlockKind.RETURN])
+    layout = Layout.original(p)
+    trace = BlockTrace.concatenate([BlockTrace([0]), BlockTrace([1])])
+    r = simulate_fetch(trace, p, layout)
+    # without the separator this would be one fetch
+    assert r.n_fetches == 2
+    assert r.n_taken == 2
+
+
+def test_chunking_preserves_results():
+    rng = np.random.default_rng(0)
+    sizes = rng.integers(1, 9, size=64).tolist()
+    kinds = [BlockKind.BRANCH if rng.random() < 0.5 else BlockKind.FALL_THROUGH for _ in range(63)]
+    kinds.append(BlockKind.RETURN)
+    p = straight_program(sizes, kinds)
+    layout = Layout.original(p)
+    events = rng.integers(0, 64, size=5000).astype(np.int32)
+    trace = BlockTrace(events)
+    whole = simulate_fetch(trace, p, layout, chunk_events=10**9)
+    chunked = simulate_fetch(trace, p, layout, chunk_events=333)
+    assert whole.n_instructions == chunked.n_instructions
+    assert whole.n_taken == chunked.n_taken
+    # chunk boundaries may split at most one fetch each
+    assert abs(whole.n_fetches - chunked.n_fetches) <= 5000 // 333 + 1
+    assert whole.ideal_ipc == pytest.approx(chunked.ideal_ipc, rel=0.01)
+
+
+def test_instruction_chunks_addresses():
+    p = straight_program([2, 3], [BlockKind.FALL_THROUGH, BlockKind.RETURN])
+    layout = Layout.original(p)
+    chunks = list(instruction_chunks(BlockTrace([0, 1]), p, layout))
+    assert len(chunks) == 1
+    np.testing.assert_array_equal(chunks[0].addr, [0, 4, 8, 12, 16])
+    np.testing.assert_array_equal(chunks[0].is_taken, [0, 0, 0, 0, 1])
+
+
+def test_ideal_ipc_and_run_length():
+    p = straight_program([8, 8], [BlockKind.FALL_THROUGH, BlockKind.RETURN])
+    layout = Layout.original(p)
+    r = simulate_fetch(BlockTrace([0, 1]), p, layout)
+    assert r.ideal_ipc == pytest.approx(16.0)
+    assert r.instructions_between_taken == pytest.approx(16.0)

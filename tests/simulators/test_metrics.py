@@ -1,0 +1,51 @@
+import numpy as np
+import pytest
+
+from repro.cfg import BlockKind, Layout, ProgramBuilder
+from repro.profiling import BlockTrace
+from repro.simulators import (
+    CacheConfig,
+    fetch_bandwidth,
+    ideal_fetch_bandwidth,
+    instructions_between_taken_branches,
+    miss_rate_percent,
+    simulate_fetch,
+)
+from repro.simulators.fetch import FetchResult
+
+
+@pytest.fixture
+def result():
+    b = ProgramBuilder()
+    b.add_procedure("f", "m", sizes=[8, 8], kinds=[BlockKind.BRANCH, BlockKind.RETURN])
+    p = b.build()
+    layout = Layout.from_placements(p, {0: 0, 1: 4096}, name="apart")
+    return simulate_fetch(BlockTrace([0, 1] * 100), p, layout)
+
+
+def test_miss_rate_percent(result):
+    config = CacheConfig(size_bytes=8 * 1024)
+    rate = miss_rate_percent(result, config)
+    # both lines stay cached after the first iteration: 4 cold misses
+    assert rate == pytest.approx(100.0 * 4 / result.n_instructions)
+
+
+def test_fetch_bandwidth_penalty(result):
+    big = CacheConfig(size_bytes=64 * 1024)
+    assert fetch_bandwidth(result, big) <= ideal_fetch_bandwidth(result)
+    # a 1-set cache thrashes between the two lines: heavy penalty
+    tiny = CacheConfig(size_bytes=32)
+    assert fetch_bandwidth(result, tiny) < 0.5 * fetch_bandwidth(result, big)
+
+
+def test_instructions_between_taken(result):
+    # every 8-instruction block ends in a taken transfer
+    assert instructions_between_taken_branches(result) == pytest.approx(8.0)
+
+
+def test_empty_result_degenerates():
+    empty = FetchResult(layout_name="x", n_instructions=0, n_fetches=0, n_taken=0, line_chunks=[])
+    assert miss_rate_percent(empty, CacheConfig(size_bytes=1024)) == 0.0
+    assert fetch_bandwidth(empty, CacheConfig(size_bytes=1024)) == 0.0
+    assert ideal_fetch_bandwidth(empty) == 0.0
+    assert instructions_between_taken_branches(empty) == float("inf")

@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.cfg import BlockKind, Layout, ProgramBuilder
+from repro.profiling import BlockTrace
+from repro.simulators import (
+    CacheConfig,
+    TraceCacheConfig,
+    simulate_fetch,
+    simulate_trace_cache,
+)
+
+
+def loop_program():
+    """Two blocks, placed apart so the loop transition is a taken branch."""
+    b = ProgramBuilder()
+    b.add_procedure(
+        "f", "executor", sizes=[4, 4], kinds=[BlockKind.BRANCH, BlockKind.BRANCH]
+    )
+    p = b.build()
+    layout = Layout.from_placements(p, {0: 0, 1: 512}, name="apart")
+    return p, layout
+
+
+def test_repeated_trace_hits():
+    p, layout = loop_program()
+    trace = BlockTrace([0, 1] * 50)
+    r = simulate_trace_cache(trace, p, layout)
+    # first iteration misses fill the cache; later iterations hit
+    assert r.n_hits > 0
+    assert r.hit_rate > 0.5
+    assert r.n_instructions == 400
+
+
+def test_trace_cache_beats_sequential_on_taken_branches():
+    p, layout = loop_program()
+    trace = BlockTrace([0, 1] * 200)
+    seq = simulate_fetch(trace, p, layout)
+    tc = simulate_trace_cache(trace, p, layout)
+    # SEQ.3 stops at each taken branch: 4 instructions per fetch. The trace
+    # cache crosses them: 8+ per hit.
+    assert tc.bandwidth(None) > seq.ideal_ipc
+
+
+def test_outcome_mismatch_forces_miss():
+    # block 0 alternates successor: 1 (taken to 512) vs 2 (sequential)
+    b = ProgramBuilder()
+    b.add_procedure(
+        "f",
+        "executor",
+        sizes=[4, 4, 4],
+        kinds=[BlockKind.BRANCH, BlockKind.BRANCH, BlockKind.BRANCH],
+    )
+    p = b.build()
+    layout = Layout.from_placements(p, {0: 0, 1: 512, 2: 16}, name="alt")
+    # alternating paths: the stored outcome mask keeps mismatching
+    trace = BlockTrace([0, 1, 0, 2, 0, 1, 0, 2] * 20)
+    r = simulate_trace_cache(trace, p, layout)
+    assert r.hit_rate < 0.9  # alternation defeats a single direct-mapped entry
+
+
+def test_miss_path_lines_feed_icache():
+    p, layout = loop_program()
+    trace = BlockTrace([0, 1] * 10)
+    r = simulate_trace_cache(trace, p, layout)
+    lines = np.concatenate(r.miss_line_chunks)
+    assert lines.size == 2 * r.n_misses
+    small = CacheConfig(size_bytes=1024)
+    assert r.bandwidth(small) <= r.bandwidth(None)
+
+
+def test_deterministic():
+    p, layout = loop_program()
+    trace = BlockTrace([0, 1] * 30)
+    a = simulate_trace_cache(trace, p, layout)
+    b = simulate_trace_cache(trace, p, layout)
+    assert a.n_hits == b.n_hits and a.n_cycles_base == b.n_cycles_base
+
+
+def test_chunking_preserves_counts():
+    p, layout = loop_program()
+    trace = BlockTrace([0, 1] * 500)
+    whole = simulate_trace_cache(trace, p, layout, chunk_events=10**9)
+    chunked = simulate_trace_cache(trace, p, layout, chunk_events=97)
+    assert whole.n_instructions == chunked.n_instructions
+    assert chunked.hit_rate == pytest.approx(whole.hit_rate, abs=0.05)
+
+
+def test_config_defaults():
+    c = TraceCacheConfig()
+    assert c.n_entries == 256
+    assert c.trace_instructions == 16

@@ -1,0 +1,37 @@
+import pytest
+
+from repro.tpcd.dates import DAYS_PER_YEAR, date, year_of
+
+
+def test_epoch():
+    assert date(1992, 1, 1) == 0
+
+
+def test_month_boundaries():
+    assert date(1992, 2, 1) == 31
+    assert date(1992, 12, 31) == 364
+    assert date(1993, 1, 1) == 365
+
+
+def test_year_of_is_exact():
+    for y in range(1992, 1999):
+        assert year_of(date(y, 1, 1)) == y
+        assert year_of(date(y, 12, 31)) == y
+
+
+def test_interval_arithmetic():
+    # Q1's date '1998-12-01' - 90 days stays in 1998
+    assert year_of(date(1998, 12, 1) - 90) == 1998
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        date(1995, 13, 1)
+    with pytest.raises(ValueError):
+        date(1995, 2, 29)  # no leap years in the synthetic calendar
+    with pytest.raises(ValueError):
+        date(1995, 0, 1)
+
+
+def test_days_per_year():
+    assert date(1993, 6, 1) - date(1992, 6, 1) == DAYS_PER_YEAR

@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+from repro.minidb import Database
+from repro.tpcd.dbgen import NATIONS, REGIONS, SEGMENTS, generate_table, populate
+from repro.tpcd.schema import TPCD_TABLES, table_cardinality
+
+SCALE = 0.002
+
+
+def rows_of(name, scale=SCALE, seed=7):
+    return list(generate_table(name, scale, seed))
+
+
+def test_fixed_tables():
+    regions = rows_of("region")
+    nations = rows_of("nation")
+    assert len(regions) == 5
+    assert len(nations) == 25
+    assert [r[1] for r in regions] == list(REGIONS)
+    # every nation's region key is valid
+    assert all(0 <= n[2] < 5 for n in nations)
+
+
+def test_scaled_cardinalities():
+    for name in ("supplier", "customer", "part", "orders"):
+        assert len(rows_of(name)) == TPCD_TABLES[name].rows_at(SCALE)
+    # partsupp: 4 suppliers per part
+    assert len(rows_of("partsupp")) == 4 * TPCD_TABLES["part"].rows_at(SCALE)
+
+
+def test_lineitem_per_order():
+    orders = rows_of("orders")
+    lines = rows_of("lineitem")
+    per_order = {}
+    for li in lines:
+        per_order.setdefault(li[0], []).append(li)
+    assert set(per_order) == {o[0] for o in orders}
+    counts = [len(v) for v in per_order.values()]
+    assert all(1 <= c <= 7 for c in counts)
+    # expected ~4 lines/order
+    assert 2.5 < np.mean(counts) < 5.5
+
+
+def test_shipdate_correlates_with_orderdate():
+    odates = {o[0]: o[4] for o in rows_of("orders")}
+    for li in rows_of("lineitem")[:500]:
+        odate = odates[li[0]]
+        assert odate < li[10] <= odate + 121  # l_shipdate
+        assert li[12] > li[10]  # receipt after ship
+
+
+def test_determinism_and_seed_sensitivity():
+    a = rows_of("customer")
+    b = rows_of("customer")
+    c = rows_of("customer", seed=8)
+    assert a == b
+    assert a != c
+
+
+def test_rows_validate_against_schema():
+    for name, spec in TPCD_TABLES.items():
+        from repro.minidb.tuples import Schema
+
+        schema = Schema(spec.columns)
+        for row in rows_of(name)[:50]:
+            schema.validate_row(row)
+
+
+def test_value_domains():
+    custs = rows_of("customer")
+    assert {c[6] for c in custs} <= set(SEGMENTS)
+    parts = rows_of("part")
+    assert all(1 <= p[5] <= 50 for p in parts)
+    assert all(p[3].startswith("Brand#") for p in parts)
+    lines = rows_of("lineitem")
+    assert all(li[8] in "RAN" for li in lines[:200])
+    assert all(0.0 <= li[6] <= 0.10 for li in lines[:200])
+
+
+def test_foreign_keys_resolve():
+    n_cust = TPCD_TABLES["customer"].rows_at(SCALE)
+    n_supp = TPCD_TABLES["supplier"].rows_at(SCALE)
+    n_part = TPCD_TABLES["part"].rows_at(SCALE)
+    for o in rows_of("orders")[:200]:
+        assert 1 <= o[1] <= n_cust
+    for li in rows_of("lineitem")[:200]:
+        assert 1 <= li[1] <= n_part
+        assert 1 <= li[2] <= n_supp
+
+
+def test_populate_creates_everything():
+    db = Database("t")
+    counts = populate(db, 0.001)
+    assert set(counts) == set(TPCD_TABLES)
+    assert counts["lineitem"] > counts["orders"]
+    assert db.table("lineitem").n_rows == counts["lineitem"]
+
+
+def test_table_cardinality_helper():
+    assert table_cardinality("region", 1.0) == 5
+    assert table_cardinality("orders", 0.01) == 15000
+    assert table_cardinality("lineitem", 0.01) == 60000
+
+
+def test_unknown_table():
+    with pytest.raises(ValueError):
+        list(generate_table("ghost", 1.0))

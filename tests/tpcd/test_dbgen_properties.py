@@ -1,0 +1,46 @@
+"""Property-based checks on the data generator across scales and seeds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tpcd.dates import date
+from repro.tpcd.dbgen import generate_table
+from repro.tpcd.schema import TPCD_TABLES
+
+
+@given(
+    scale=st.sampled_from([0.0005, 0.001, 0.002]),
+    seed=st.integers(min_value=0, max_value=5),
+    table=st.sampled_from(["supplier", "customer", "part", "orders"]),
+)
+@settings(max_examples=20, deadline=None)
+def test_scaled_tables_deterministic_and_keyed(scale, seed, table):
+    rows_a = list(generate_table(table, scale, seed))
+    rows_b = list(generate_table(table, scale, seed))
+    assert rows_a == rows_b
+    # primary keys are 1..n without gaps
+    keys = [r[0] for r in rows_a]
+    assert keys == list(range(1, len(keys) + 1))
+    assert len(rows_a) == TPCD_TABLES[table].rows_at(scale)
+
+
+@given(seed=st.integers(min_value=0, max_value=5))
+@settings(max_examples=6, deadline=None)
+def test_lineitem_dates_ordered(seed):
+    for li in list(generate_table("lineitem", 0.0005, seed))[:300]:
+        shipdate, commitdate, receiptdate = li[10], li[11], li[12]
+        assert date(1992, 1, 1) <= shipdate
+        assert receiptdate > shipdate
+        assert commitdate >= date(1992, 1, 1)
+
+
+@given(
+    scale_small=st.just(0.0005),
+    scale_large=st.just(0.001),
+    seed=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=4, deadline=None)
+def test_larger_scale_strictly_more_rows(scale_small, scale_large, seed):
+    small = sum(1 for _ in generate_table("orders", scale_small, seed))
+    large = sum(1 for _ in generate_table("orders", scale_large, seed))
+    assert large > small

@@ -1,0 +1,166 @@
+"""Query-correctness tests: every TPC-D query runs on both database
+variants, returns the same result under btree and hash access paths, and
+selected queries are cross-checked against straightforward in-Python
+reference computations over the generated data."""
+
+import math
+
+import pytest
+
+from repro.tpcd.dates import date, year_of
+from repro.tpcd.dbgen import generate_table
+from repro.tpcd.queries import QUERIES, run_query
+from repro.tpcd.workload import build_database
+
+SCALE = 0.002
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_database(SCALE)
+
+
+@pytest.fixture(scope="module")
+def raw():
+    return {name: list(generate_table(name, SCALE)) for name in
+            ("region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem")}
+
+
+@pytest.mark.parametrize("qid", sorted(QUERIES))
+def test_btree_and_hash_agree(db, qid):
+    b = run_query(db, qid, "btree")
+    h = run_query(db, qid, "hash")
+    assert b == h
+
+
+def test_q1_reference(db, raw):
+    cutoff = date(1998, 12, 1) - 90
+    groups = {}
+    for li in raw["lineitem"]:
+        if li[10] <= cutoff:
+            g = groups.setdefault((li[8], li[9]), [0.0, 0])
+            g[0] += li[4]  # quantity
+            g[1] += 1
+    rows = run_query(db, 1, "btree")
+    assert len(rows) == len(groups)
+    for row in rows:
+        key = (row[0], row[1])
+        assert row[2] == pytest.approx(groups[key][0])  # sum_qty
+        assert row[9] == groups[key][1]  # count_order
+
+
+def test_q3_reference(db, raw):
+    cut = date(1995, 3, 15)
+    building = {c[0] for c in raw["customer"] if c[6] == "BUILDING"}
+    orders = {o[0]: o for o in raw["orders"] if o[1] in building and o[4] < cut}
+    revenue = {}
+    for li in raw["lineitem"]:
+        if li[0] in orders and li[10] > cut:
+            revenue[li[0]] = revenue.get(li[0], 0.0) + li[5] * (1 - li[6])
+    expect = sorted(revenue.items(), key=lambda kv: (-kv[1], orders[kv[0]][4]))[:10]
+    rows = run_query(db, 3, "btree")
+    assert len(rows) == min(10, len(expect))
+    for row, (okey, rev) in zip(rows, expect):
+        assert row[0] == okey
+        assert row[3] == pytest.approx(rev)
+
+
+def test_q6_reference(db, raw):
+    lo, hi = date(1994, 1, 1), date(1995, 1, 1)
+    expect = sum(
+        li[5] * li[6]
+        for li in raw["lineitem"]
+        if lo <= li[10] < hi and 0.05 <= li[6] <= 0.07 and li[4] < 24
+    )
+    rows = run_query(db, 6, "btree")
+    assert rows[0][0] == pytest.approx(expect)
+
+
+def test_q4_reference(db, raw):
+    lo, hi = date(1993, 7, 1), date(1993, 10, 1)
+    with_late = {li[0] for li in raw["lineitem"] if li[11] < li[12]}
+    counts = {}
+    for o in raw["orders"]:
+        if lo <= o[4] < hi and o[0] in with_late:
+            counts[o[5]] = counts.get(o[5], 0) + 1
+    rows = run_query(db, 4, "btree")
+    assert {r[0]: r[1] for r in rows} == counts
+
+
+def test_q12_reference(db, raw):
+    lo, hi = date(1994, 1, 1), date(1995, 1, 1)
+    orders = {o[0]: o[5] for o in raw["orders"]}
+    expect = {}
+    for li in raw["lineitem"]:
+        if (
+            li[14] in ("MAIL", "SHIP")
+            and li[11] < li[12]
+            and li[10] < li[11]
+            and lo <= li[12] < hi
+        ):
+            prio = orders[li[0]]
+            high = prio in ("1-URGENT", "2-HIGH")
+            cell = expect.setdefault(li[14], [0, 0])
+            cell[0 if high else 1] += 1
+    rows = run_query(db, 12, "btree")
+    assert {r[0]: (r[1], r[2]) for r in rows} == {k: tuple(v) for k, v in expect.items()}
+
+
+def test_q14_reference(db, raw):
+    lo, hi = date(1995, 9, 1), date(1995, 10, 1)
+    ptype = {p[0]: p[4] for p in raw["part"]}
+    promo = total = 0.0
+    for li in raw["lineitem"]:
+        if lo <= li[10] < hi:
+            rev = li[5] * (1 - li[6])
+            total += rev
+            if ptype[li[1]].startswith("PROMO"):
+                promo += rev
+    rows = run_query(db, 14, "btree")
+    assert rows[0][0] == pytest.approx(100.0 * promo / total)
+
+
+def test_q15_reference(db, raw):
+    lo, hi = date(1996, 1, 1), date(1996, 4, 1)
+    revenue = {}
+    for li in raw["lineitem"]:
+        if lo <= li[10] < hi:
+            revenue[li[2]] = revenue.get(li[2], 0.0) + li[5] * (1 - li[6])
+    best = max(revenue.values())
+    winners = sorted(k for k, v in revenue.items() if v >= best)
+    rows = run_query(db, 15, "btree")
+    assert [r[0] for r in rows] == winners
+    assert rows[0][4] == pytest.approx(best)
+
+
+def test_q17_reference(db, raw):
+    parts = {p[0] for p in raw["part"] if p[3] == "Brand#23" and p[6] == "MED BOX"}
+    qty = {}
+    for li in raw["lineitem"]:
+        if li[1] in parts:
+            qty.setdefault(li[1], []).append(li)
+    expect = 0.0
+    for pkey, lis in qty.items():
+        avg = sum(li[4] for li in lis) / len(lis)
+        expect += sum(li[5] for li in lis if li[4] < 0.2 * avg)
+    rows = run_query(db, 17, "btree")
+    assert rows[0][0] == pytest.approx(expect / 7.0)
+
+
+def test_q7_years_within_range(db):
+    for row in run_query(db, 7, "btree"):
+        assert row[2] in (1995, 1996)
+        assert {row[0], row[1]} == {"FRANCE", "GERMANY"}
+
+
+def test_q11_threshold_respected(db, raw):
+    rows = run_query(db, 11, "btree")
+    values = [r[1] for r in rows]
+    assert values == sorted(values, reverse=True)
+
+
+def test_q16_counts_distinct_suppliers(db):
+    rows = run_query(db, 16, "btree")
+    for row in rows:
+        assert row[3] >= 1
+        assert row[0] != "Brand#45"

@@ -1,0 +1,42 @@
+import numpy as np
+import pytest
+
+from repro.tpcd import TEST_QUERIES, TRAINING_QUERIES, Workload, build_database, capture_trace
+from repro.tpcd.schema import TPCD_TABLES
+
+
+def test_workload_definitions_match_paper():
+    assert TRAINING_QUERIES == (3, 4, 5, 6, 9)
+    assert TEST_QUERIES == (2, 3, 4, 6, 11, 12, 13, 14, 15, 17)
+
+
+def test_build_database_indexes_both_kinds():
+    db = build_database(0.0005)
+    for name, spec in TPCD_TABLES.items():
+        table = db.table(name)
+        for kind in ("btree", "hash"):
+            for column in spec.unique_keys + spec.foreign_keys:
+                assert (column, kind) in table.indexes, (name, column, kind)
+
+
+def test_capture_trace_runs_per_query():
+    db = build_database(0.0005)
+    model = db.kernel_model()
+    trace = capture_trace(db, model, (6, 14), ("btree",))
+    assert sum(1 for _ in trace.segments()) == 2
+    assert trace.n_events > 0
+
+
+def test_capture_trace_both_kinds_doubles_runs():
+    db = build_database(0.0005)
+    model = db.kernel_model()
+    trace = capture_trace(db, model, (6,), ("btree", "hash"))
+    assert sum(1 for _ in trace.segments()) == 2
+
+
+def test_workload_build_bundles_everything():
+    w = Workload.build(0.0005, test_queries=(6, 14))
+    assert w.program.n_blocks > 0
+    assert w.training_trace.n_events > 0
+    assert w.test_trace.n_events > 0
+    assert w.program is w.model.program

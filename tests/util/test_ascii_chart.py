@@ -1,0 +1,34 @@
+import pytest
+
+from repro.util.ascii_chart import ascii_curve
+
+
+def test_basic_curve_renders():
+    points = [(0, 0.0), (50, 80.0), (100, 95.0)]
+    out = ascii_curve(points, width=40, height=8)
+    lines = out.splitlines()
+    assert any("*" in line for line in lines)
+    assert "95.0" in out and "0.0" in out
+
+
+def test_monotone_curve_stars_rise_left_to_right():
+    points = [(0, 0.0), (100, 100.0)]
+    out = ascii_curve(points, width=20, height=10, y_label="y")
+    rows = [line for line in out.splitlines() if "|" in line]
+    first_star_row = next(i for i, line in enumerate(rows) if "*" in line.split("|")[1][:3])
+    last_star_row = next(i for i, line in enumerate(rows) if "*" in line.split("|")[1][-3:])
+    assert last_star_row < first_star_row or first_star_row == last_star_row + 9
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_curve([(0, 1.0)])
+    with pytest.raises(ValueError):
+        ascii_curve([(0, 1.0), (0, 2.0)])
+    with pytest.raises(ValueError):
+        ascii_curve([(0, 1.0), (5, 1.0)])
+
+
+def test_labels_included():
+    out = ascii_curve([(0, 0.0), (10, 10.0)], x_label="blocks", y_label="refs")
+    assert "refs" in out and "blocks" in out

@@ -1,0 +1,28 @@
+from repro.util import format_table
+
+
+def test_basic_table():
+    out = format_table(["a", "bb"], [[1, 2.5], [10, None]])
+    lines = out.splitlines()
+    assert lines[0].split() == ["a", "bb"]
+    assert "2.50" in lines[2]
+    assert lines[3].split() == ["10", "-"]
+
+
+def test_title_and_alignment():
+    out = format_table(["col"], [[123456]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    # header right-justified to the widest cell
+    assert lines[1].endswith("col")
+    assert lines[3].endswith("123456")
+
+
+def test_floatfmt():
+    out = format_table(["x"], [[1.23456]], floatfmt=".4f")
+    assert "1.2346" in out
+
+
+def test_empty_rows():
+    out = format_table(["x"], [])
+    assert len(out.splitlines()) == 2
