@@ -1,0 +1,79 @@
+"""Performance smoke benchmark: suite wall-clock and simulator throughput.
+
+Runs the evaluation suite once (uncached) plus the individual simulator
+hot paths on a small workload, and records the numbers to
+``BENCH_suite.json`` at the repo root so regressions show up in review.
+
+Run: ``PYTHONPATH=src python benchmarks/perf_smoke.py [--scale 0.001] [--jobs N]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.experiments.config import KB, PRIMARY_ROWS
+from repro.experiments.harness import get_workload, layouts_for, resolve_jobs
+from repro.experiments.suite import compute_suite
+from repro.simulators import CacheConfig, count_misses, simulate_fetch, simulate_trace_cache
+from repro.tpcd.workload import WorkloadSettings
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.001)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_suite.json"))
+    args = parser.parse_args(argv)
+    jobs = resolve_jobs(args.jobs)
+
+    t0 = time.perf_counter()
+    workload = get_workload(WorkloadSettings(scale=args.scale))
+    workload_s = time.perf_counter() - t0
+
+    grid = PRIMARY_ROWS
+    t0 = time.perf_counter()
+    suite = compute_suite(workload, grid, progress=True, jobs=jobs)
+    suite_s = time.perf_counter() - t0
+
+    layout = layouts_for(workload, grid[0][0], grid[0][1], names=("orig",))["orig"]
+    t0 = time.perf_counter()
+    fr = simulate_fetch(workload.test_trace, workload.program, layout)
+    fetch_s = time.perf_counter() - t0
+
+    n_lines = sum(int(c.size) for c in fr.line_chunks)
+    t0 = time.perf_counter()
+    count_misses(fr.line_chunks, CacheConfig(size_bytes=grid[0][0] * KB))
+    icache_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    simulate_trace_cache(workload.test_trace, workload.program, layout)
+    tc_s = time.perf_counter() - t0
+
+    record = {
+        "scale": args.scale,
+        "jobs": jobs,
+        "grid_rows": len(grid),
+        "n_instructions": fr.n_instructions,
+        "workload_seconds": round(workload_s, 3),
+        "suite_seconds": round(suite_s, 3),
+        "fetch_seconds": round(fetch_s, 3),
+        "fetch_minstr_per_s": round(fr.n_instructions / fetch_s / 1e6, 3),
+        "icache_seconds": round(icache_s, 3),
+        "icache_mlines_per_s": round(n_lines / icache_s / 1e6, 3),
+        "trace_cache_seconds": round(tc_s, 3),
+        "trace_cache_minstr_per_s": round(fr.n_instructions / tc_s / 1e6, 3),
+        "suite_n_instructions": suite.n_instructions,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

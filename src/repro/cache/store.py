@@ -1,0 +1,166 @@
+"""Content-addressed on-disk artifact store.
+
+Artifacts (built workloads, training profiles, suite results) are pickled
+under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-stc``), addressed by a
+SHA-256 digest of a canonicalized key object plus two version salts:
+
+* :data:`CACHE_VERSION` — the store format; bumping it orphans every entry
+  (they live under a ``v<N>`` directory that is simply no longer read);
+* a per-kind version from :data:`ARTIFACT_VERSIONS` — bump the entry for
+  one artifact kind when the code producing it changes meaning, and only
+  that kind's entries are invalidated.
+
+Keys canonicalize dataclasses (class name + field items), mappings, and
+sequences recursively, so any change to e.g. ``WorkloadSettings`` values
+(scale, seed, kernel seed) or the evaluation grid produces a different
+address. Writes are atomic (temp file + rename); unreadable or corrupt
+entries behave as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "ARTIFACT_VERSIONS",
+    "CACHE_VERSION",
+    "ArtifactCache",
+    "cache_enabled",
+    "default_cache",
+    "stable_digest",
+]
+
+#: Store-format version: bump to orphan every cached artifact at once.
+CACHE_VERSION = 1
+
+#: Per-kind schema versions, folded into every key of that kind. Bump one
+#: when the producing code changes what the artifact means.
+ARTIFACT_VERSIONS: dict[str, int] = {
+    "workload": 1,
+    "profile": 1,
+    "suite": 1,
+}
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_DISABLE = "REPRO_CACHE_DISABLE"
+
+
+def cache_enabled() -> bool:
+    """Artifact caching is on unless ``REPRO_CACHE_DISABLE`` is truthy."""
+    return os.environ.get(_ENV_DISABLE, "") not in ("1", "true", "yes")
+
+
+def _default_root() -> Path:
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-stc"
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic, hashable-by-repr structure."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = [(f.name, _canonical(getattr(obj, f.name))) for f in dataclasses.fields(obj)]
+        return (type(obj).__name__, tuple(fields))
+    if isinstance(obj, dict):
+        return ("dict", tuple(sorted((str(k), _canonical(v)) for k, v in obj.items())))
+    if isinstance(obj, (list, tuple)):
+        return tuple(_canonical(v) for v in obj)
+    if isinstance(obj, float):
+        return repr(obj)  # repr round-trips exactly; 0.005 != 0.0050000001
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__!r} for a cache key")
+
+
+def stable_digest(obj: Any) -> str:
+    """Hex SHA-256 of the canonicalized key object."""
+    payload = repr(_canonical(obj)).encode()
+    return hashlib.sha256(payload).hexdigest()[:40]
+
+
+class ArtifactCache:
+    """Pickle-backed artifact store with content-addressed keys."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self._root = Path(root) if root is not None else None
+
+    @property
+    def root(self) -> Path:
+        """Resolved store root (env re-read when no explicit root given)."""
+        return self._root if self._root is not None else _default_root()
+
+    def path_for(self, kind: str, key_obj: Any) -> Path:
+        digest = stable_digest((kind, ARTIFACT_VERSIONS.get(kind, 0), key_obj))
+        return self.root / f"v{CACHE_VERSION}" / kind / f"{digest}.pkl"
+
+    def load(self, kind: str, key_obj: Any) -> Any | None:
+        """The stored artifact, or ``None`` on miss/corruption/disable."""
+        if not cache_enabled():
+            return None
+        path = self.path_for(kind, key_obj)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:  # corrupt entry: drop it and treat as a miss
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+
+    def store(self, kind: str, key_obj: Any, value: Any) -> Path | None:
+        """Atomically persist ``value``; returns its path (None if disabled)."""
+        if not cache_enabled():
+            return None
+        path = self.path_for(kind, key_obj)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            return None  # read-only or full disk: caching is best-effort
+        return path
+
+    def has(self, kind: str, key_obj: Any) -> bool:
+        return cache_enabled() and self.path_for(kind, key_obj).exists()
+
+    def clear(self, kind: str | None = None) -> int:
+        """Remove cached entries (one kind, or everything); returns count."""
+        base = self.root / f"v{CACHE_VERSION}"
+        if kind is not None:
+            base = base / kind
+        if not base.exists():
+            return 0
+        removed = 0
+        for p in sorted(base.rglob("*.pkl")):
+            try:
+                p.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+_DEFAULT = ArtifactCache()
+
+
+def default_cache() -> ArtifactCache:
+    """The process-wide store rooted at ``$REPRO_CACHE_DIR``/XDG default."""
+    return _DEFAULT

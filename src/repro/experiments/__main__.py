@@ -8,7 +8,12 @@ from __future__ import annotations
 
 from repro.experiments import figure2, figure3, headline, table1, table2, table3, table4
 from repro.experiments.config import CACHE_CFA_GRID
-from repro.experiments.harness import get_workload, settings_from_args, standard_parser
+from repro.experiments.harness import (
+    get_workload,
+    resolve_jobs,
+    settings_from_args,
+    standard_parser,
+)
 from repro.experiments.suite import get_suite
 
 
@@ -26,7 +31,7 @@ def main(argv=None) -> None:
     print()
     print(figure2.render(figure2.compute(workload)))
     print()
-    suite = get_suite(workload, CACHE_CFA_GRID, progress=True)
+    suite = get_suite(workload, CACHE_CFA_GRID, progress=True, jobs=resolve_jobs(args.jobs))
     print(table3.render(suite, CACHE_CFA_GRID))
     print()
     print(table4.render(suite, CACHE_CFA_GRID))

@@ -3,48 +3,73 @@
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass, field
+import os
+import weakref
 
 from repro.baselines import original_layout, pettis_hansen_layout, torrellas_layout
+from repro.cache import default_cache
 from repro.cfg.layout import Layout
 from repro.cfg.weighted import WeightedCFG
 from repro.core import CacheGeometry, STCParams, stc_layout
 from repro.experiments.config import KB
 from repro.profiling import profile_trace
-from repro.tpcd.workload import Workload
+from repro.tpcd.workload import Workload, WorkloadSettings
 
-__all__ = ["WorkloadSettings", "get_workload", "training_profile", "layouts_for", "standard_parser"]
-
-
-@dataclass(frozen=True)
-class WorkloadSettings:
-    """Reproducible workload identity (the cache key)."""
-
-    scale: float = 0.005
-    seed: int = 7
-    kernel_seed: int = 2029
-
-    def build(self) -> Workload:
-        return Workload.build(self.scale, seed=self.seed, kernel_seed=self.kernel_seed)
+__all__ = [
+    "WorkloadSettings",
+    "get_workload",
+    "training_profile",
+    "layouts_for",
+    "standard_parser",
+    "settings_from_args",
+    "resolve_jobs",
+]
 
 
 _WORKLOADS: dict[WorkloadSettings, Workload] = {}
-_PROFILES: dict[int, WeightedCFG] = {}
+#: Training profiles for settings-stamped workloads, keyed by the settings
+#: (never by ``id()`` — object ids are reused after garbage collection and
+#: would silently alias a stale profile to a different workload).
+_PROFILES: dict[WorkloadSettings, WeightedCFG] = {}
+#: Profiles for ad-hoc workloads, keyed by the live instance itself.
+_PROFILES_ADHOC: "weakref.WeakKeyDictionary[Workload, WeightedCFG]" = weakref.WeakKeyDictionary()
 
 
 def get_workload(settings: WorkloadSettings = WorkloadSettings()) -> Workload:
-    """Build (once per process) and cache the workload for these settings."""
+    """Build (once per process) and cache the workload for these settings.
+
+    Built workloads are also persisted to the artifact cache, so a second
+    run at the same settings — in any process — skips database generation
+    and trace capture entirely.
+    """
     if settings not in _WORKLOADS:
-        _WORKLOADS[settings] = settings.build()
+        cache = default_cache()
+        workload = cache.load("workload", settings)
+        if not isinstance(workload, Workload):
+            workload = settings.build()
+            cache.store("workload", settings, workload)
+        workload.settings = settings
+        _WORKLOADS[settings] = workload
     return _WORKLOADS[settings]
 
 
 def training_profile(workload: Workload) -> WeightedCFG:
     """The weighted CFG profiled from the Training set (cached)."""
-    key = id(workload)
-    if key not in _PROFILES:
-        _PROFILES[key] = profile_trace(workload.training_trace, workload.program.n_blocks)
-    return _PROFILES[key]
+    settings = workload.settings
+    if settings is None:
+        profile = _PROFILES_ADHOC.get(workload)
+        if profile is None:
+            profile = profile_trace(workload.training_trace, workload.program.n_blocks)
+            _PROFILES_ADHOC[workload] = profile
+        return profile
+    if settings not in _PROFILES:
+        cache = default_cache()
+        profile = cache.load("profile", settings)
+        if not isinstance(profile, WeightedCFG):
+            profile = profile_trace(workload.training_trace, workload.program.n_blocks)
+            cache.store("profile", settings, profile)
+        _PROFILES[settings] = profile
+    return _PROFILES[settings]
 
 
 def layouts_for(
@@ -78,7 +103,20 @@ def standard_parser(description: str) -> argparse.ArgumentParser:
     parser.add_argument("--scale", type=float, default=0.005, help="TPC-D scale factor (default 0.005)")
     parser.add_argument("--seed", type=int, default=7, help="data generator seed")
     parser.add_argument("--kernel-seed", type=int, default=2029, help="kernel model seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the evaluation suite (0 = all cores, default 1)",
+    )
     return parser
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Map the ``--jobs`` flag to a worker count (0/negative = all cores)."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
 
 
 def settings_from_args(args) -> WorkloadSettings:

@@ -3,16 +3,29 @@
 One pass over (layout x geometry) computes everything both tables need:
 fetch simulation per layout, vectorized miss counting per cache
 configuration, trace-cache simulations for the TC columns. Results are
-scalars, cached per workload so Table 3, Table 4 and the headline module
-share the work.
+scalars, cached per workload settings — in memory and in the persistent
+artifact cache — so Table 3, Table 4 and the headline module share the
+work within and across processes.
+
+The suite is decomposed into self-contained (layout x geometry) tasks.
+With ``jobs > 1`` the tasks fan out over a fork-based
+:class:`~concurrent.futures.ProcessPoolExecutor` — the workload's trace
+arrays are shared copy-on-write, each worker returns only scalar metrics,
+and assembly is deterministic, so parallel output is bit-identical to
+serial. Platforms without ``fork`` (and ``jobs=1``) run the same tasks
+serially.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import weakref
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
-from repro.experiments.config import CACHE_CFA_GRID, KB, PRIMARY_ROWS
-from repro.experiments.harness import layouts_for
+from repro.cache import default_cache
+from repro.experiments.config import CACHE_CFA_GRID, KB
+from repro.experiments.harness import get_workload, layouts_for, training_profile
 from repro.simulators import (
     CacheConfig,
     count_misses,
@@ -20,9 +33,10 @@ from repro.simulators import (
     simulate_trace_cache,
 )
 from repro.simulators.fetch import MISS_PENALTY_CYCLES
-from repro.tpcd.workload import Workload
+from repro.tpcd.workload import Workload, WorkloadSettings
+from repro.util.progress import Progress
 
-__all__ = ["CellMetrics", "SuiteResults", "compute_suite", "get_suite"]
+__all__ = ["CellMetrics", "SuiteResults", "compute_suite", "get_suite", "suite_for"]
 
 
 @dataclass
@@ -71,67 +85,182 @@ def _metrics(fetch_result, cache_kb: int) -> CellMetrics:
     )
 
 
+# -- task decomposition --------------------------------------------------
+#
+# A task is a self-contained simulation returning a small scalar payload:
+#   ("base", name)  — fetch simulation of a geometry-independent layout,
+#                     metrics per cache size (+ 2-way/victim for "orig")
+#   ("tc", "orig")  — trace cache over the original layout
+#   ("row", row)    — Torr/auto/ops fetch simulations for one grid row
+#   ("tc_ops", row) — trace cache over the ops layout for one grid row
+
+_Task = tuple[str, object]
+
+
+def _suite_tasks(grid, tc_rows) -> list[_Task]:
+    tasks: list[_Task] = [("base", "orig"), ("base", "P&H"), ("tc", "orig")]
+    tasks.extend(("row", row) for row in grid)
+    tasks.extend(("tc_ops", row) for row in tc_rows)
+    return tasks
+
+
+def _task_label(task: _Task) -> str:
+    kind, arg = task
+    if kind == "base":
+        return f"fetch simulation: {arg}"
+    if kind == "tc":
+        return "trace cache: orig layout"
+    if kind == "row":
+        return "fetch simulations: Torr/auto/ops {}/{}".format(*arg)
+    return "trace cache: ops layout {}/{}".format(*arg)
+
+
+def _task_payload(workload: Workload, task: _Task, grid, cache_sizes) -> dict:
+    kind, arg = task
+    trace = workload.test_trace
+    program = workload.program
+    if kind == "base":
+        layout = layouts_for(workload, grid[0][0], grid[0][1], names=(arg,))[arg]
+        fr = simulate_fetch(trace, program, layout)
+        payload = {
+            "n_instructions": fr.n_instructions,
+            "per_cache": {c: _metrics(fr, c) for c in cache_sizes},
+        }
+        if arg == "orig":
+            n = fr.n_instructions
+            assoc: dict[int, float] = {}
+            victim: dict[int, float] = {}
+            for c in cache_sizes:
+                a = count_misses(fr.line_chunks, CacheConfig(size_bytes=c * KB, associativity=2))
+                v = count_misses(fr.line_chunks, CacheConfig(size_bytes=c * KB, victim_lines=16))
+                assoc[c] = 100.0 * a / n
+                victim[c] = 100.0 * v / n
+            payload["assoc"] = assoc
+            payload["victim"] = victim
+        return payload
+    if kind == "tc":
+        layout = layouts_for(workload, grid[0][0], grid[0][1], names=("orig",))["orig"]
+        tc = simulate_trace_cache(trace, program, layout)
+        return {
+            "ideal": tc.bandwidth(None),
+            "hit_rate": tc.hit_rate,
+            "ipc": {c: tc.bandwidth(CacheConfig(size_bytes=c * KB)) for c in cache_sizes},
+        }
+    if kind == "row":
+        cache_kb, cfa_kb = arg
+        layouts = layouts_for(workload, cache_kb, cfa_kb, names=("Torr", "auto", "ops"))
+        cells: dict[str, CellMetrics] = {}
+        for name in ("Torr", "auto", "ops"):
+            fr = simulate_fetch(trace, program, layouts[name])
+            cells[name] = _metrics(fr, cache_kb)
+            del fr
+        return cells
+    if kind == "tc_ops":
+        cache_kb, cfa_kb = arg
+        layout = layouts_for(workload, cache_kb, cfa_kb, names=("ops",))["ops"]
+        tc = simulate_trace_cache(trace, program, layout)
+        return {
+            "ipc": tc.bandwidth(CacheConfig(size_bytes=cache_kb * KB)),
+            "ideal": tc.bandwidth(None),
+        }
+    raise ValueError(f"unknown suite task {task!r}")
+
+
+def _assemble(grid, tc_rows, results: dict[_Task, dict]) -> SuiteResults:
+    """Deterministic assembly: iterates tasks in canonical order, so the
+    result is independent of parallel completion order."""
+    res = SuiteResults()
+    base_orig = results[("base", "orig")]
+    res.n_instructions = base_orig["n_instructions"]
+    for name in ("orig", "P&H"):
+        per_cache = results[("base", name)]["per_cache"]
+        for row in grid:
+            res.cells.setdefault(row, {})[name] = per_cache[row[0]]
+    res.assoc_miss = dict(base_orig["assoc"])
+    res.victim_miss = dict(base_orig["victim"])
+    tc = results[("tc", "orig")]
+    res.tc_ideal = tc["ideal"]
+    res.tc_hit_rate = tc["hit_rate"]
+    res.tc_ipc = dict(tc["ipc"])
+    for row in grid:
+        for name, cell in results[("row", row)].items():
+            res.cells.setdefault(row, {})[name] = cell
+    for row in tc_rows:
+        payload = results[("tc_ops", row)]
+        res.tc_ops_ipc[row] = payload["ipc"]
+        res.tc_ops_ideal[row] = payload["ideal"]
+    return res
+
+
+# Worker context for fork-based pools: set in the parent immediately before
+# the fork so children inherit the workload (and its trace arrays)
+# copy-on-write instead of receiving pickled copies.
+_WORKER_CTX: tuple | None = None
+
+
+def _worker_run(task: _Task):
+    workload, grid, cache_sizes = _WORKER_CTX
+    return task, _task_payload(workload, task, grid, cache_sizes)
+
+
+def _run_parallel(workload, grid, cache_sizes, tasks, n_workers, prog) -> dict[_Task, dict]:
+    global _WORKER_CTX
+    _WORKER_CTX = (workload, grid, cache_sizes)
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+            futures = [pool.submit(_worker_run, task) for task in tasks]
+            results: dict[_Task, dict] = {}
+            for future in as_completed(futures):
+                task, payload = future.result()
+                results[task] = payload
+                prog.step(_task_label(task))
+    finally:
+        _WORKER_CTX = None
+    return results
+
+
 def compute_suite(
     workload: Workload,
     grid: tuple[tuple[int, int], ...] = CACHE_CFA_GRID,
     *,
     tc_rows: tuple[tuple[int, int], ...] | None = None,
     progress: bool = False,
+    jobs: int = 1,
 ) -> SuiteResults:
-    """Evaluate all layouts over the grid on the Test-set trace."""
-    program = workload.program
-    trace = workload.test_trace
+    """Evaluate all layouts over the grid on the Test-set trace.
+
+    ``jobs > 1`` fans the (layout x geometry) tasks out over worker
+    processes (fork platforms only); results are bit-identical to serial.
+    """
     tc_rows = grid if tc_rows is None else tc_rows
     cache_sizes = sorted({c for c, _ in grid})
-    res = SuiteResults()
+    tasks = _suite_tasks(grid, tc_rows)
+    n_workers = min(max(1, jobs), len(tasks))
+    prog = Progress("suite", total=len(tasks), enabled=progress)
 
-    def log(msg: str) -> None:
-        if progress:
-            print(f"  [suite] {msg}", flush=True)
+    # profile once in the parent: workers inherit it copy-on-write
+    training_profile(workload)
 
-    # geometry-independent layouts: one fetch simulation each
-    base = layouts_for(workload, grid[0][0], grid[0][1], names=("orig", "P&H"))
-    for name in ("orig", "P&H"):
-        log(f"fetch simulation: {name}")
-        fr = simulate_fetch(trace, program, base[name])
-        res.n_instructions = fr.n_instructions
-        per_cache = {c: _metrics(fr, c) for c in cache_sizes}
-        for row in grid:
-            res.cells.setdefault(row, {})[name] = per_cache[row[0]]
-        if name == "orig":
-            for c in cache_sizes:
-                n = fr.n_instructions
-                assoc = count_misses(fr.line_chunks, CacheConfig(size_bytes=c * KB, associativity=2))
-                victim = count_misses(
-                    fr.line_chunks, CacheConfig(size_bytes=c * KB, victim_lines=16)
-                )
-                res.assoc_miss[c] = 100.0 * assoc / n
-                res.victim_miss[c] = 100.0 * victim / n
-            log("trace cache: orig layout")
-            tc = simulate_trace_cache(trace, program, base["orig"])
-            res.tc_ideal = tc.bandwidth(None)
-            res.tc_hit_rate = tc.hit_rate
-            for c in cache_sizes:
-                res.tc_ipc[c] = tc.bandwidth(CacheConfig(size_bytes=c * KB))
-
-    # geometry-dependent layouts
-    for row in grid:
-        cache_kb, cfa_kb = row
-        layouts = layouts_for(workload, cache_kb, cfa_kb, names=("Torr", "auto", "ops"))
-        for name in ("Torr", "auto", "ops"):
-            log(f"fetch simulation: {name} {cache_kb}/{cfa_kb}")
-            fr = simulate_fetch(trace, program, layouts[name])
-            res.cells.setdefault(row, {})[name] = _metrics(fr, cache_kb)
-            del fr
-        if row in tc_rows:
-            log(f"trace cache: ops layout {cache_kb}/{cfa_kb}")
-            tc = simulate_trace_cache(trace, program, layouts["ops"])
-            res.tc_ops_ipc[row] = tc.bandwidth(CacheConfig(size_bytes=cache_kb * KB))
-            res.tc_ops_ideal[row] = tc.bandwidth(None)
-    return res
+    if n_workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+        results = _run_parallel(workload, grid, cache_sizes, tasks, n_workers, prog)
+    else:
+        results = {}
+        for task in tasks:
+            results[task] = _task_payload(workload, task, grid, cache_sizes)
+            prog.step(_task_label(task))
+    prog.done()
+    return _assemble(grid, tc_rows, results)
 
 
-_SUITES: dict[tuple[int, tuple], SuiteResults] = {}
+# -- caching -------------------------------------------------------------
+
+_SUITES: dict[tuple, SuiteResults] = {}
+_SUITES_ADHOC: "weakref.WeakKeyDictionary[Workload, dict]" = weakref.WeakKeyDictionary()
+
+
+def _suite_key(settings: WorkloadSettings, grid, tc_rows) -> tuple:
+    return (settings, grid, tc_rows)
 
 
 def get_suite(
@@ -140,9 +269,53 @@ def get_suite(
     *,
     tc_rows: tuple[tuple[int, int], ...] | None = None,
     progress: bool = False,
+    jobs: int = 1,
 ) -> SuiteResults:
-    """Cached :func:`compute_suite` (keyed by workload identity and grid)."""
-    key = (id(workload), grid, tc_rows)
+    """Cached :func:`compute_suite`.
+
+    Settings-stamped workloads key by their :class:`WorkloadSettings` (in
+    memory and in the artifact cache); ad-hoc workloads key by instance —
+    never by ``id()``, which the garbage collector reuses.
+    """
+    tc_rows = grid if tc_rows is None else tc_rows
+    settings = workload.settings
+    if settings is None:
+        per_workload = _SUITES_ADHOC.setdefault(workload, {})
+        key = (grid, tc_rows)
+        if key not in per_workload:
+            per_workload[key] = compute_suite(
+                workload, grid, tc_rows=tc_rows, progress=progress, jobs=jobs
+            )
+        return per_workload[key]
+
+    key = _suite_key(settings, grid, tc_rows)
     if key not in _SUITES:
-        _SUITES[key] = compute_suite(workload, grid, tc_rows=tc_rows, progress=progress)
+        cache = default_cache()
+        suite = cache.load("suite", key)
+        if not isinstance(suite, SuiteResults):
+            suite = compute_suite(workload, grid, tc_rows=tc_rows, progress=progress, jobs=jobs)
+            cache.store("suite", key, suite)
+        _SUITES[key] = suite
     return _SUITES[key]
+
+
+def suite_for(
+    settings: WorkloadSettings,
+    grid: tuple[tuple[int, int], ...] = CACHE_CFA_GRID,
+    *,
+    tc_rows: tuple[tuple[int, int], ...] | None = None,
+    progress: bool = False,
+    jobs: int = 1,
+) -> SuiteResults:
+    """Disk-first suite lookup: a warm artifact-cache hit returns without
+    building the workload at all."""
+    tc_rows_n = grid if tc_rows is None else tc_rows
+    key = _suite_key(settings, grid, tc_rows_n)
+    if key in _SUITES:
+        return _SUITES[key]
+    suite = default_cache().load("suite", key)
+    if isinstance(suite, SuiteResults):
+        _SUITES[key] = suite
+        return suite
+    workload = get_workload(settings)
+    return get_suite(workload, grid, tc_rows=tc_rows, progress=progress, jobs=jobs)

@@ -6,8 +6,8 @@ Run: ``python -m repro.experiments.table4 [--scale 0.005] [--quick]``
 from __future__ import annotations
 
 from repro.experiments.config import CACHE_CFA_GRID, PAPER_TABLE4, PRIMARY_ROWS
-from repro.experiments.harness import get_workload, settings_from_args, standard_parser
-from repro.experiments.suite import SuiteResults, get_suite
+from repro.experiments.harness import resolve_jobs, settings_from_args, standard_parser
+from repro.experiments.suite import SuiteResults, get_suite, suite_for
 from repro.tpcd.workload import Workload
 from repro.util.fmt import format_table
 
@@ -19,8 +19,9 @@ def compute(
     grid: tuple[tuple[int, int], ...] = CACHE_CFA_GRID,
     *,
     progress: bool = False,
+    jobs: int = 1,
 ) -> SuiteResults:
-    return get_suite(workload, grid, progress=progress)
+    return get_suite(workload, grid, progress=progress, jobs=jobs)
 
 
 def _fmt_range(lo: float, hi: float) -> str:
@@ -78,8 +79,9 @@ def main(argv=None) -> None:
     parser.add_argument("--quick", action="store_true", help="primary rows only")
     args = parser.parse_args(argv)
     grid = PRIMARY_ROWS if args.quick else CACHE_CFA_GRID
-    workload = get_workload(settings_from_args(args))
-    suite = compute(workload, grid, progress=True)
+    suite = suite_for(
+        settings_from_args(args), grid, progress=True, jobs=resolve_jobs(args.jobs)
+    )
     print(render(suite, grid))
 
 

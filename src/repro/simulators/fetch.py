@@ -14,8 +14,9 @@ are then evaluated vectorized over that stream
 Implementation: the trace is expanded to instruction-level NumPy arrays in
 bounded chunks (memory stays flat for arbitrarily long traces). For every
 instruction position the fetch length is computed vectorized; the actual
-fetch boundaries are then the orbit of position 0 under ``p -> p + n[p]``,
-a cheap scalar walk.
+fetch boundaries are the orbit of position 0 under ``p -> p + n[p]``,
+extracted by a vectorized jump-table traversal (:func:`_orbit_starts`)
+that walks all taken-branch-delimited segments in lockstep.
 """
 
 from __future__ import annotations
@@ -127,27 +128,28 @@ def instruction_chunks(
 
 
 def _fetch_lengths(chunk: _Chunk, line_instrs: int) -> np.ndarray:
-    """Vectorized SEQ.3 fetch length from every instruction position."""
+    """Vectorized SEQ.3 fetch length from every instruction position.
+
+    All distance computations are O(n) passes (reverse minimum-accumulate
+    for the next taken branch, an exclusive prefix count for the third
+    branch) — no per-position binary searches.
+    """
     n = chunk.addr.shape[0]
     idx = np.arange(n, dtype=np.int64)
 
-    # distance to the next taken branch (inclusive)
-    taken_pos = np.flatnonzero(chunk.is_taken)
-    next_taken = np.full(n, n - 1, dtype=np.int64)
-    if taken_pos.size:
-        j = np.searchsorted(taken_pos, idx, side="left")
-        j = np.minimum(j, taken_pos.size - 1)
-        nt = taken_pos[j]
-        nt[idx > taken_pos[-1]] = n - 1  # tail past the last taken branch
-        next_taken = nt
+    # distance to the next taken branch (inclusive): positions past the
+    # last taken branch run to the end of the chunk
+    cand = np.where(chunk.is_taken, idx, n - 1)
+    next_taken = np.minimum.accumulate(cand[::-1])[::-1]
     until_taken = next_taken - idx + 1
 
-    # distance to the third branch (inclusive)
+    # distance to the third branch (inclusive): the number of branches
+    # strictly before each position is an exclusive prefix sum
     branch_pos = np.flatnonzero(chunk.is_branch)
     until_third = np.full(n, n, dtype=np.int64)
     if branch_pos.size:
-        j = np.searchsorted(branch_pos, idx, side="left")
-        third = j + BRANCH_LIMIT - 1
+        before = np.cumsum(chunk.is_branch, dtype=np.int64) - chunk.is_branch
+        third = before + BRANCH_LIMIT - 1
         has_third = third < branch_pos.size
         until_third[has_third] = branch_pos[third[has_third]] - idx[has_third] + 1
 
@@ -156,6 +158,66 @@ def _fetch_lengths(chunk: _Chunk, line_instrs: int) -> np.ndarray:
 
     length = np.minimum(np.minimum(until_taken, until_third), np.minimum(cap, FETCH_WIDTH))
     return np.maximum(length, 1)
+
+
+#: Lockstep rounds after which the few remaining long segments finish scalar.
+_ORBIT_SCALAR_CUTOFF_ROUNDS = 64
+_ORBIT_SCALAR_CUTOFF_ACTIVE = 32
+
+
+def _orbit_starts_scalar(lengths: np.ndarray) -> np.ndarray:
+    """Reference orbit of 0 under ``p -> p + lengths[p]`` (scalar walk)."""
+    n = lengths.shape[0]
+    length_list = lengths.tolist()
+    starts: list[int] = []
+    append = starts.append
+    p = 0
+    while p < n:
+        append(p)
+        p += length_list[p]
+    return np.asarray(starts, dtype=np.int64)
+
+
+def _orbit_starts(lengths: np.ndarray, is_taken: np.ndarray) -> np.ndarray:
+    """Orbit of 0 under ``p -> p + lengths[p]``, vectorized.
+
+    Requires the SEQ.3 invariant that a fetch never crosses a taken branch
+    (``lengths[p] <= next_taken(p) - p + 1``, which :func:`_fetch_lengths`
+    guarantees). The orbit then decomposes into independent segments
+    delimited by taken branches: each segment's first fetch starts right
+    after the previous taken branch. All segments are walked in lockstep —
+    one gather per fetch — and the visited mask yields the starts already
+    in stream order. Rare pathological segments (thousands of short
+    fetches back to back) are finished with the scalar walk.
+    """
+    n = lengths.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    taken_pos = np.flatnonzero(is_taken)
+    seg_start = np.concatenate(([0], taken_pos + 1))
+    seg_end = np.concatenate((taken_pos, [n - 1]))[: seg_start.size]
+    alive = seg_start <= seg_end  # drop the empty tail when the last
+    cur = seg_start[alive]  # instruction is a taken branch
+    end = seg_end[alive]
+
+    visited = np.zeros(n, dtype=bool)
+    rounds = 0
+    while cur.size:
+        visited[cur] = True
+        cur = cur + lengths[cur]
+        keep = cur <= end
+        if not keep.all():
+            cur = cur[keep]
+            end = end[keep]
+        rounds += 1
+        if rounds >= _ORBIT_SCALAR_CUTOFF_ROUNDS and cur.size <= _ORBIT_SCALAR_CUTOFF_ACTIVE:
+            length_list = lengths.tolist()
+            for p, e in zip(cur.tolist(), end.tolist()):
+                while p <= e:
+                    visited[p] = True
+                    p += length_list[p]
+            break
+    return np.flatnonzero(visited)
 
 
 def simulate_fetch(
@@ -178,16 +240,8 @@ def simulate_fetch(
         n_instructions += n
         n_taken += int(chunk.is_taken.sum())
         lengths = _fetch_lengths(chunk, line_instrs)
-        # orbit of 0 under p -> p + lengths[p]
-        length_list = lengths.tolist()
-        starts: list[int] = []
-        p = 0
-        append = starts.append
-        while p < n:
-            append(p)
-            p += length_list[p]
-        n_fetches += len(starts)
-        start_arr = np.asarray(starts, dtype=np.int64)
+        start_arr = _orbit_starts(lengths, chunk.is_taken)
+        n_fetches += start_arr.shape[0]
         first_line = chunk.addr[start_arr] // line_bytes
         lines = np.empty(2 * start_arr.shape[0], dtype=np.int64)
         lines[0::2] = first_line

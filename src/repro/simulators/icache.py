@@ -1,16 +1,26 @@
 """Instruction cache models (paper Table 3's cache column variants).
 
 Input is a stream of cache-line numbers (from the fetch unit), supplied as
-one array or a list of chunk arrays. Three organizations:
+one array or a list of chunk arrays. Chunks are processed one at a time
+with per-set state carried across chunk boundaries, so the stream is never
+concatenated (peak memory stays one chunk). Three organizations:
 
 * direct-mapped — fully vectorized (stable argsort groups accesses by set;
-  a miss is a tag change within the group);
+  a miss is a tag change within the group, or against the carried tag at
+  the chunk boundary);
 * 2-way set associative, LRU — vectorized via the run-compression identity:
   within one set's access stream with consecutive duplicates removed, the
   cache holds exactly the previous two distinct lines, so access ``j`` hits
-  iff it equals the compressed stream's entry ``j-2``;
+  iff it equals the compressed stream's entry ``j-2`` (the carried last two
+  compressed entries extend the identity across chunks);
 * direct-mapped + fully associative victim cache (16 lines) — stateful
-  swap behaviour, simulated with an explicit loop over the line stream.
+  swap behaviour. The stream is first run-compressed per set (a repeat of
+  the immediately preceding access to the same set always hits the primary
+  slot and changes no state), then the surviving accesses — typically a
+  small fraction — run through the explicit swap loop.
+
+:func:`simulate_victim_cache` keeps the original one-shot scalar loop as
+the reference implementation; :func:`count_misses` uses the batched path.
 """
 
 from __future__ import annotations
@@ -47,8 +57,10 @@ class CacheConfig:
 
 def _as_chunks(lines) -> list[np.ndarray]:
     if isinstance(lines, np.ndarray):
-        return [lines]
-    return list(lines)
+        chunks = [lines]
+    else:
+        chunks = list(lines)
+    return [c for c in chunks if c.size]
 
 
 def count_misses(lines: np.ndarray | Sequence[np.ndarray], config: CacheConfig) -> int:
@@ -56,47 +68,135 @@ def count_misses(lines: np.ndarray | Sequence[np.ndarray], config: CacheConfig) 
     chunks = _as_chunks(lines)
     if not chunks:
         return 0
-    stream = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
-    if stream.size == 0:
-        return 0
     if config.victim_lines:
-        return simulate_victim_cache(stream, config)
+        return _victim_misses(chunks, config)
     if config.associativity == 1:
-        return _direct_mapped(stream, config.n_sets)
-    return _two_way_lru(stream, config.n_sets)
+        return _direct_mapped(chunks, config.n_sets)
+    return _two_way_lru(chunks, config.n_sets)
 
 
-def _direct_mapped(lines: np.ndarray, n_sets: int) -> int:
+def _group_sorted(lines: np.ndarray, n_sets: int):
+    """Sort a chunk stably by set; return (sets, lines, group-start mask)."""
     sets = lines % n_sets
     order = np.argsort(sets, kind="stable")
     sorted_sets = sets[order]
     sorted_lines = lines[order]
-    miss = np.empty(lines.shape[0], dtype=bool)
-    miss[0] = True
-    miss[1:] = (sorted_sets[1:] != sorted_sets[:-1]) | (sorted_lines[1:] != sorted_lines[:-1])
-    return int(miss.sum())
+    first = np.empty(lines.shape[0], dtype=bool)
+    first[0] = True
+    first[1:] = sorted_sets[1:] != sorted_sets[:-1]
+    return order, sorted_sets, sorted_lines, first
 
 
-def _two_way_lru(lines: np.ndarray, n_sets: int) -> int:
-    sets = lines % n_sets
-    order = np.argsort(sets, kind="stable")
-    sorted_sets = sets[order]
-    sorted_lines = lines[order]
-    # compress consecutive duplicates within each set's stream: those are
-    # guaranteed hits (the line is MRU); only distinct transitions can miss
-    keep = np.empty(lines.shape[0], dtype=bool)
-    keep[0] = True
-    keep[1:] = (sorted_sets[1:] != sorted_sets[:-1]) | (sorted_lines[1:] != sorted_lines[:-1])
-    c_sets = sorted_sets[keep]
-    c_lines = sorted_lines[keep]
-    n = c_lines.shape[0]
-    miss = np.ones(n, dtype=bool)  # first and second distinct accesses miss
-    if n > 2:
-        same_set = c_sets[2:] == c_sets[:-2]
-        # entry j hits iff it equals entry j-2 of the same set's stream
-        # (entry j-1 differs by construction, so {j-1, j-2} is the set state)
-        miss[2:] = ~(same_set & (c_lines[2:] == c_lines[:-2]))
-    return int(miss.sum())
+def _direct_mapped(chunks: list[np.ndarray], n_sets: int) -> int:
+    tags = np.full(n_sets, -1, dtype=np.int64)
+    misses = 0
+    for lines in chunks:
+        _, sorted_sets, sorted_lines, first = _group_sorted(lines, n_sets)
+        miss = np.empty(lines.shape[0], dtype=bool)
+        miss[1:] = first[1:] | (sorted_lines[1:] != sorted_lines[:-1])
+        first_idx = np.flatnonzero(first)
+        miss[first_idx] = sorted_lines[first_idx] != tags[sorted_sets[first_idx]]
+        misses += int(miss.sum())
+        last_idx = np.concatenate((first_idx[1:] - 1, [lines.shape[0] - 1]))
+        tags[sorted_sets[last_idx]] = sorted_lines[last_idx]
+    return misses
+
+
+def _two_way_lru(chunks: list[np.ndarray], n_sets: int) -> int:
+    # carried per-set state: the last two entries of the set's run-compressed
+    # access stream (w0 most recent); distinct negative sentinels keep the
+    # cold-start "first two distinct accesses miss" behaviour
+    w0 = np.full(n_sets, -1, dtype=np.int64)
+    w1 = np.full(n_sets, -2, dtype=np.int64)
+    misses = 0
+    for lines in chunks:
+        _, sorted_sets, sorted_lines, first = _group_sorted(lines, n_sets)
+        # compress consecutive duplicates within each set's stream: those are
+        # guaranteed hits (the line is MRU); only distinct transitions can
+        # miss. At the chunk boundary the previous compressed entry is w0.
+        keep = np.empty(lines.shape[0], dtype=bool)
+        keep[1:] = first[1:] | (sorted_lines[1:] != sorted_lines[:-1])
+        first_idx = np.flatnonzero(first)
+        keep[first_idx] = sorted_lines[first_idx] != w0[sorted_sets[first_idx]]
+        c_sets = sorted_sets[keep]
+        c_lines = sorted_lines[keep]
+        n = c_lines.shape[0]
+        if n == 0:
+            continue
+        # entry j hits iff it equals entry j-2 of the same set's compressed
+        # stream (entry j-1 differs by construction, so {j-1, j-2} is the
+        # set state); the carried (w0, w1) stand in for entries -1 and -2
+        miss = np.ones(n, dtype=bool)
+        if n > 2:
+            same_set = c_sets[2:] == c_sets[:-2]
+            miss[2:] = ~(same_set & (c_lines[2:] == c_lines[:-2]))
+        g_first = np.empty(n, dtype=bool)
+        g_first[0] = True
+        g_first[1:] = c_sets[1:] != c_sets[:-1]
+        g_start = np.flatnonzero(g_first)
+        miss[g_start] = c_lines[g_start] != w1[c_sets[g_start]]
+        second = g_start + 1
+        second = second[second < n]
+        second = second[~g_first[second]]
+        miss[second] = c_lines[second] != w0[c_sets[second]]
+        misses += int(miss.sum())
+        # roll the carried state forward to each set's last two entries
+        g_last = np.concatenate((g_start[1:] - 1, [n - 1]))
+        g_sets = c_sets[g_start]
+        single = g_last == g_start
+        w1[g_sets[single]] = w0[g_sets[single]]
+        w1[g_sets[~single]] = c_lines[g_last[~single] - 1]
+        w0[g_sets] = c_lines[g_last]
+    return misses
+
+
+def _victim_misses(chunks: list[np.ndarray], config: CacheConfig) -> int:
+    """Batched victim-cache simulation over chunked streams.
+
+    Vectorized per-set run compression removes the accesses that repeat the
+    immediately preceding access to the same set — always primary hits with
+    no state change — before the stateful swap loop.
+    """
+    n_sets = config.n_sets
+    last = np.full(n_sets, -1, dtype=np.int64)
+    primary = np.full(n_sets, -1, dtype=np.int64)
+    victim: dict[int, None] = {}
+    capacity = config.victim_lines
+    misses = 0
+    for lines in chunks:
+        order, sorted_sets, sorted_lines, first = _group_sorted(lines, n_sets)
+        keep_sorted = np.empty(lines.shape[0], dtype=bool)
+        keep_sorted[1:] = first[1:] | (sorted_lines[1:] != sorted_lines[:-1])
+        first_idx = np.flatnonzero(first)
+        keep_sorted[first_idx] = sorted_lines[first_idx] != last[sorted_sets[first_idx]]
+        last_idx = np.concatenate((first_idx[1:] - 1, [lines.shape[0] - 1]))
+        last[sorted_sets[last_idx]] = sorted_lines[last_idx]
+        # back to stream order: the compressed accesses interleave across
+        # sets exactly as in the original stream
+        keep = np.zeros(lines.shape[0], dtype=bool)
+        keep[order] = keep_sorted
+        compressed = lines[keep]
+        sets = (compressed % n_sets).tolist()
+        for line, s in zip(compressed.tolist(), sets):
+            resident = primary[s]
+            if resident == line:
+                continue
+            if line in victim:
+                del victim[line]
+                if resident >= 0:
+                    victim[resident] = None
+                    while len(victim) > capacity:
+                        del victim[next(iter(victim))]
+                primary[s] = line
+                continue
+            misses += 1
+            if resident >= 0:
+                victim.pop(resident, None)
+                victim[resident] = None
+                while len(victim) > capacity:
+                    del victim[next(iter(victim))]
+            primary[s] = line
+    return misses
 
 
 def simulate_victim_cache(lines: np.ndarray, config: CacheConfig) -> int:
@@ -105,6 +205,9 @@ def simulate_victim_cache(lines: np.ndarray, config: CacheConfig) -> int:
     On a primary miss that hits the victim buffer, the lines swap (the
     victim's line moves into the primary slot, the evicted primary line
     into the buffer) and the access counts as a hit, as in Jouppi's design.
+
+    This is the reference scalar implementation; :func:`count_misses`
+    routes victim configurations through the batched equivalent.
     """
     from collections import OrderedDict
 

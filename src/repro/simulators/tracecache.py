@@ -90,22 +90,36 @@ def simulate_trace_cache(
     width = config.trace_instructions
     blimit = config.branch_limit
 
+    low_bits = [(1 << k) - 1 for k in range(blimit + 1)]
+
     for chunk in instruction_chunks(trace, program, layout, chunk_events):
         n = chunk.addr.shape[0]
         n_instructions += n
         n_taken += int(chunk.is_taken.sum())
-        seq_len = _fetch_lengths(chunk, line_bytes // 4).tolist()
+        # zero-copy memoryviews: the loop touches only the positions it
+        # visits, so materializing full Python lists would cost more than
+        # the walk itself
+        seq_len = _fetch_lengths(chunk, line_bytes // 4).data
 
-        addr = chunk.addr.tolist()
+        addr = np.ascontiguousarray(chunk.addr).data
         is_branch = chunk.is_branch
         is_taken = chunk.is_taken
         branch_pos = np.flatnonzero(is_branch)
-        # next-branch index per position, for fast outcome lookup
-        first_branch = np.searchsorted(branch_pos, np.arange(n, dtype=np.int64), side="left")
-        first_branch_l = first_branch.tolist()
-        branch_pos_l = branch_pos.tolist()
-        taken_at = is_taken[branch_pos].tolist() if branch_pos.size else []
-        n_branches_total = len(branch_pos_l)
+        n_branches_total = int(branch_pos.size)
+        idxs = np.arange(n, dtype=np.int64)
+        # next-branch index per position (exclusive prefix count of branches)
+        first_branch = np.cumsum(is_branch, dtype=np.int64) - is_branch
+        first_branch_l = first_branch.data
+
+        # outcome bitmask of the next `blimit` branches from every position,
+        # zero-padded past the last branch — the hit check and the fill unit
+        # both read their masks from this table instead of looping
+        taken_at = is_taken[branch_pos].astype(np.int64)
+        padded = np.concatenate((taken_at, np.zeros(blimit, dtype=np.int64)))
+        next_mask = np.zeros(n, dtype=np.int64)
+        for j in range(blimit):
+            next_mask |= padded[first_branch + j] << j
+        next_mask_l = next_mask.data
 
         # fill-unit trace length from every position: up to `width`
         # instructions or `blimit` branches, crossing taken branches
@@ -113,11 +127,15 @@ def simulate_trace_cache(
         if branch_pos.size:
             third = first_branch + blimit - 1
             has = third < branch_pos.size
-            idxs = np.arange(n, dtype=np.int64)
             until_third[has] = branch_pos[third[has]] - idxs[has] + 1
         fill_len = np.minimum(until_third, width)
-        fill_len = np.minimum(fill_len, n - np.arange(n, dtype=np.int64))
-        fill_len_l = np.maximum(fill_len, 1).tolist()
+        fill_len = np.minimum(fill_len, n - idxs)
+        fill_len = np.maximum(fill_len, 1)
+        fill_len_l = fill_len.data
+        # branches inside the fill window, capped at `blimit`
+        branches_before = np.concatenate((first_branch, [n_branches_total]))
+        fill_k = np.minimum(branches_before[idxs + fill_len] - first_branch, blimit)
+        fill_k_l = fill_k.data
 
         miss_lines: list[int] = []
         p = 0
@@ -128,17 +146,15 @@ def simulate_trace_cache(
             if entry is not None and entry[0] == a:
                 _, mask, k, length = entry
                 # actual outcomes of the next k branches
-                bi = first_branch_l[p]
-                if bi + k <= n_branches_total:
-                    actual = 0
-                    for j in range(k):
-                        if taken_at[bi + j]:
-                            actual |= 1 << j
-                    if actual == mask and p + length <= n:
-                        n_hits += 1
-                        n_cycles += 1
-                        p += length
-                        continue
+                if (
+                    first_branch_l[p] + k <= n_branches_total
+                    and next_mask_l[p] & low_bits[k] == mask
+                    and p + length <= n
+                ):
+                    n_hits += 1
+                    n_cycles += 1
+                    p += length
+                    continue
             # trace cache miss: SEQ.3 fetch from the i-cache
             n_misses += 1
             n_cycles += 1
@@ -146,15 +162,8 @@ def simulate_trace_cache(
             miss_lines.append(line)
             miss_lines.append(line + 1)
             # fill unit stores the observed trace
-            length = fill_len_l[p]
-            bi = first_branch_l[p]
-            mask = 0
-            k = 0
-            while k < blimit and bi + k < n_branches_total and branch_pos_l[bi + k] < p + length:
-                if taken_at[bi + k]:
-                    mask |= 1 << k
-                k += 1
-            entries[index] = (a, mask, k, length)
+            k = fill_k_l[p]
+            entries[index] = (a, next_mask_l[p] & low_bits[k], k, fill_len_l[p])
             p += seq_len[p]
         miss_line_chunks.append(np.asarray(miss_lines, dtype=np.int64))
 

@@ -27,6 +27,7 @@ __all__ = [
     "build_database",
     "capture_trace",
     "Workload",
+    "WorkloadSettings",
 ]
 
 TRAINING_QUERIES: tuple[int, ...] = (3, 4, 5, 6, 9)
@@ -70,14 +71,35 @@ def capture_trace(
     return tracer.take_trace()
 
 
-@dataclass
+@dataclass(frozen=True)
+class WorkloadSettings:
+    """Reproducible workload identity — the in-memory and on-disk cache key."""
+
+    scale: float = 0.005
+    seed: int = 7
+    kernel_seed: int = 2029
+
+    def build(self) -> "Workload":
+        workload = Workload.build(self.scale, seed=self.seed, kernel_seed=self.kernel_seed)
+        workload.settings = self
+        return workload
+
+
+@dataclass(eq=False)
 class Workload:
-    """A fully built experimental setup: database, static image and traces."""
+    """A fully built experimental setup: database, static image and traces.
+
+    ``settings`` is stamped when the workload was built from a
+    :class:`WorkloadSettings`; it is what keys the derived-artifact caches
+    (profiles, suite results) — workloads built ad hoc (``settings is
+    None``) are keyed per instance instead.
+    """
 
     db: Database
     model: KernelModel
     training_trace: BlockTrace
     test_trace: BlockTrace
+    settings: WorkloadSettings | None = None
 
     @classmethod
     def build(

@@ -1,6 +1,8 @@
-"""Small shared utilities: deterministic RNG streams and table formatting."""
+"""Small shared utilities: deterministic RNG streams, table formatting,
+progress reporting."""
 
-from repro.util.rng import derive_seed, stream
 from repro.util.fmt import format_table
+from repro.util.progress import Progress
+from repro.util.rng import derive_seed, stream
 
-__all__ = ["derive_seed", "stream", "format_table"]
+__all__ = ["derive_seed", "stream", "format_table", "Progress"]

@@ -1,0 +1,65 @@
+"""Timestamped progress reporting with rate and ETA, quiet by default.
+
+Replaces ad-hoc ``print(f"  [suite] ...")`` scattering: one
+:class:`Progress` instance per long-running computation, stepped once per
+completed unit of work. Output goes to ``stderr`` so piped experiment
+tables stay clean.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+__all__ = ["Progress"]
+
+
+class Progress:
+    """Step counter that prints ``[HH:MM:SS] [label] k/N (rate, ETA) msg``.
+
+    ``enabled=False`` (the default) makes every method a no-op, so callers
+    thread a single flag instead of guarding each report site.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        total: int | None = None,
+        *,
+        enabled: bool = False,
+        stream: TextIO | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.label = label
+        self.total = total
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._t0 = clock()
+        self.count = 0
+
+    def _emit(self, text: str) -> None:
+        stamp = time.strftime("%H:%M:%S")
+        print(f"[{stamp}] [{self.label}] {text}", file=self.stream, flush=True)
+
+    def step(self, message: str = "") -> None:
+        """Record one completed unit and report it."""
+        self.count += 1
+        if not self.enabled:
+            return
+        elapsed = max(self._clock() - self._t0, 1e-9)
+        rate = self.count / elapsed
+        parts = [f"{self.count}/{self.total}" if self.total else f"{self.count}"]
+        parts.append(f"{rate:.2f}/s")
+        if self.total and self.count < self.total:
+            parts.append(f"ETA {(self.total - self.count) / rate:.0f}s")
+        prefix = f"{parts[0]} ({', '.join(parts[1:])})"
+        self._emit(f"{prefix} {message}".rstrip())
+
+    def done(self, message: str = "") -> None:
+        """Report total wall-clock for the whole run."""
+        if not self.enabled:
+            return
+        elapsed = self._clock() - self._t0
+        self._emit(f"done: {self.count} steps in {elapsed:.1f}s {message}".rstrip())

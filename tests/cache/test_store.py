@@ -1,0 +1,93 @@
+from dataclasses import dataclass
+
+import pytest
+
+from repro.cache import (
+    ARTIFACT_VERSIONS,
+    ArtifactCache,
+    cache_enabled,
+    default_cache,
+    stable_digest,
+)
+
+
+@dataclass(frozen=True)
+class Key:
+    scale: float = 0.005
+    seed: int = 7
+
+
+def test_roundtrip_hit(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = Key()
+    assert cache.load("suite", key) is None
+    assert not cache.has("suite", key)
+    cache.store("suite", key, {"answer": 42})
+    assert cache.has("suite", key)
+    assert cache.load("suite", key) == {"answer": 42}
+
+
+def test_digest_sensitivity():
+    base = stable_digest(Key())
+    assert base == stable_digest(Key())  # deterministic
+    assert stable_digest(Key(scale=0.01)) != base
+    assert stable_digest(Key(seed=8)) != base
+    assert stable_digest((1, 2)) != stable_digest((1, "2"))
+
+
+def test_unkeyable_object_rejected():
+    with pytest.raises(TypeError):
+        stable_digest(object())
+
+
+def test_kind_and_version_salts_address_separately(tmp_path, monkeypatch):
+    cache = ArtifactCache(tmp_path)
+    key = Key()
+    cache.store("suite", key, "suite-value")
+    # a different kind with the same key is a different address
+    assert cache.load("profile", key) is None
+    # bumping the per-kind version invalidates that kind only
+    monkeypatch.setitem(ARTIFACT_VERSIONS, "suite", ARTIFACT_VERSIONS["suite"] + 1)
+    assert cache.load("suite", key) is None
+    monkeypatch.undo()
+    assert cache.load("suite", key) == "suite-value"
+
+
+def test_corrupt_entry_is_a_miss_and_is_removed(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = Key()
+    path = cache.store("suite", key, "ok")
+    path.write_bytes(b"not a pickle")
+    assert cache.load("suite", key) is None
+    assert not path.exists()
+
+
+def test_disable_env(tmp_path, monkeypatch):
+    cache = ArtifactCache(tmp_path)
+    cache.store("suite", "k", "v")
+    monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+    assert not cache_enabled()
+    assert cache.load("suite", "k") is None
+    assert cache.store("suite", "k2", "v2") is None
+    monkeypatch.delenv("REPRO_CACHE_DISABLE")
+    assert cache.load("suite", "k") == "v"
+
+
+def test_default_cache_follows_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+    cache = default_cache()
+    assert cache.root == tmp_path / "alt"
+    cache.store("profile", "k", [1, 2, 3])
+    assert (tmp_path / "alt").exists()
+    assert cache.load("profile", "k") == [1, 2, 3]
+
+
+def test_clear(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.store("suite", "a", 1)
+    cache.store("suite", "b", 2)
+    cache.store("profile", "a", 3)
+    assert cache.clear("suite") == 2
+    assert cache.load("suite", "a") is None
+    assert cache.load("profile", "a") == 3
+    assert cache.clear() == 1

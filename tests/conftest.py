@@ -1,0 +1,16 @@
+"""Test-wide fixtures: isolate the persistent artifact cache.
+
+Every test session gets a private ``REPRO_CACHE_DIR`` so tests neither
+read a developer's warm cache (hermeticity) nor pollute it.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_artifact_cache(tmp_path_factory):
+    root = tmp_path_factory.mktemp("repro-cache")
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_CACHE_DIR", str(root))
+    yield root
+    mp.undo()

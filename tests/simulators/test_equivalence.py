@@ -1,0 +1,90 @@
+"""Equivalence properties for the vectorized simulator hot paths.
+
+Each vectorized implementation has a scalar reference it must match
+exactly: the lockstep orbit walk vs the plain ``p -> p + lengths[p]``
+loop, and the batched/chunked cache models vs the stateful scalar models.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulators import CacheConfig, count_misses, simulate_victim_cache
+from repro.simulators.fetch import (
+    _ORBIT_SCALAR_CUTOFF_ROUNDS,
+    _orbit_starts,
+    _orbit_starts_scalar,
+)
+
+
+def _random_stream(rng, n):
+    """Random (lengths, is_taken) satisfying the SEQ.3 orbit invariant:
+    a fetch never extends past the next taken branch."""
+    is_taken = rng.random(n) < 0.2
+    idx = np.arange(n)
+    cand = np.where(is_taken, idx, n - 1)
+    next_taken = np.minimum.accumulate(cand[::-1])[::-1]
+    limit = np.minimum(next_taken - idx + 1, 16)
+    lengths = rng.integers(1, limit + 1)
+    return lengths.astype(np.int64), is_taken
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(1, 400))
+@settings(max_examples=60, deadline=None)
+def test_orbit_matches_scalar_walk(seed, n):
+    rng = np.random.default_rng(seed)
+    lengths, is_taken = _random_stream(rng, n)
+    vec = _orbit_starts(lengths, is_taken)
+    ref = _orbit_starts_scalar(lengths)
+    np.testing.assert_array_equal(vec, ref)
+
+
+def test_orbit_scalar_cutoff_path():
+    # one taken-branch-free segment much longer than the lockstep cutoff:
+    # the stragglers must be finished by the scalar fallback, not dropped
+    n = 50 * _ORBIT_SCALAR_CUTOFF_ROUNDS
+    lengths = np.ones(n, dtype=np.int64)
+    is_taken = np.zeros(n, dtype=bool)
+    np.testing.assert_array_equal(_orbit_starts(lengths, is_taken), np.arange(n))
+
+
+def test_orbit_edge_cases():
+    empty = np.empty(0, dtype=np.int64)
+    assert _orbit_starts(empty, np.empty(0, dtype=bool)).size == 0
+    # stream ending on a taken branch leaves an empty trailing segment
+    lengths = np.array([2, 1, 1], dtype=np.int64)
+    is_taken = np.array([False, False, True])
+    np.testing.assert_array_equal(
+        _orbit_starts(lengths, is_taken), _orbit_starts_scalar(lengths)
+    )
+
+
+@given(
+    st.lists(st.integers(0, 63), min_size=1, max_size=300),
+    st.integers(2, 4),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_chunked_streams_match_whole_stream(lines, n_sets_log, seed):
+    """Splitting the access stream into chunks must not change any count:
+    the chunked models carry per-set state across chunk boundaries."""
+    lines = np.asarray(lines, dtype=np.int64)
+    n_sets = 1 << n_sets_log
+    rng = np.random.default_rng(seed)
+    cuts = np.sort(rng.integers(0, lines.size + 1, size=rng.integers(0, 6)))
+    chunks = [c for c in np.split(lines, cuts)]
+    configs = [
+        CacheConfig(size_bytes=n_sets * 32),
+        CacheConfig(size_bytes=2 * n_sets * 32, associativity=2),
+        CacheConfig(size_bytes=n_sets * 32, victim_lines=4),
+    ]
+    for config in configs:
+        assert count_misses(chunks, config) == count_misses(lines, config)
+
+
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=250), st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_batched_victim_matches_scalar_reference(lines, victim_lines):
+    lines = np.asarray(lines, dtype=np.int64)
+    config = CacheConfig(size_bytes=8 * 32, victim_lines=victim_lines)
+    assert count_misses(lines, config) == simulate_victim_cache(lines, config)

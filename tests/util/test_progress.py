@@ -1,0 +1,56 @@
+import io
+
+from repro.util.progress import Progress
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def test_disabled_is_silent_but_counts():
+    out = io.StringIO()
+    prog = Progress("suite", total=3, stream=out)
+    prog.step("a")
+    prog.step("b")
+    prog.done()
+    assert prog.count == 2
+    assert out.getvalue() == ""
+
+
+def test_enabled_reports_rate_and_eta():
+    out = io.StringIO()
+    clock = FakeClock()
+    prog = Progress("suite", total=4, enabled=True, stream=out, clock=clock)
+    clock.t = 2.0
+    prog.step("fetch simulation: orig")
+    line = out.getvalue().strip()
+    assert "[suite]" in line
+    assert "1/4" in line
+    assert "0.50/s" in line  # 1 step in 2 s
+    assert "ETA 6s" in line  # 3 remaining at 0.5/s
+    assert line.endswith("fetch simulation: orig")
+
+
+def test_last_step_has_no_eta_and_done_reports_elapsed():
+    out = io.StringIO()
+    clock = FakeClock()
+    prog = Progress("x", total=1, enabled=True, stream=out, clock=clock)
+    clock.t = 1.0
+    prog.step()
+    assert "ETA" not in out.getvalue()
+    clock.t = 2.5
+    prog.done()
+    assert "1 steps in 2.5s" in out.getvalue()
+
+
+def test_no_total_just_counts():
+    out = io.StringIO()
+    prog = Progress("x", enabled=True, stream=out, clock=FakeClock())
+    prog.step("msg")
+    first_line = out.getvalue().splitlines()[0]
+    assert "1 (" in first_line
+    assert "/s" in first_line
