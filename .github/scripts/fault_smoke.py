@@ -1,0 +1,88 @@
+"""CI smoke for the fault-tolerant suite engine.
+
+Runs the evaluation suite at a tiny scale with one injected failing task,
+verifies the failure names the task and leaves the completed tasks
+checkpointed, then resumes: the resumed run must recompute only the
+missing tasks, match a from-scratch run bit for bit, and emit a manifest
+recording checkpoint provenance and per-task timing.
+
+Run: ``PYTHONPATH=src python .github/scripts/fault_smoke.py``
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+os.environ.setdefault("REPRO_CACHE_DIR", tempfile.mkdtemp(prefix="repro-ci-cache-"))
+
+from repro.experiments import suite as suite_mod  # noqa: E402
+from repro.experiments.config import PRIMARY_ROWS  # noqa: E402
+from repro.experiments.harness import get_workload  # noqa: E402
+from repro.tpcd.workload import WorkloadSettings  # noqa: E402
+
+SETTINGS = WorkloadSettings(scale=0.0005)
+GRID = PRIMARY_ROWS[:2]
+FAIL_TASK = ("row", GRID[1])
+REAL_PAYLOAD = suite_mod._task_payload
+
+
+def flatten(s):
+    out = {"n": s.n_instructions}
+    for row, cells in sorted(s.cells.items()):
+        for name, m in sorted(cells.items()):
+            out[repr((row, name))] = dataclasses.astuple(m)
+    out["assoc"] = s.assoc_miss
+    out["victim"] = s.victim_miss
+    out["tc"] = (s.tc_ideal, s.tc_hit_rate, sorted(s.tc_ipc.items()))
+    out["tc_ops"] = sorted(s.tc_ops_ipc.items())
+    return out
+
+
+def main() -> None:
+    workload = get_workload(SETTINGS)
+
+    def boom(wl, task, grid, cache_sizes):
+        if task == FAIL_TASK:
+            raise ValueError("injected CI worker failure")
+        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+
+    suite_mod._task_payload = boom
+    try:
+        try:
+            suite_mod.compute_suite(workload, GRID, jobs=2)
+        except suite_mod.SuiteTaskError as exc:
+            print(f"injected failure surfaced as expected: {exc}")
+            if suite_mod._task_label(FAIL_TASK) not in str(exc):
+                sys.exit("FAIL: error does not name the failing task")
+        else:
+            sys.exit("FAIL: expected SuiteTaskError from the injected failure")
+    finally:
+        suite_mod._task_payload = REAL_PAYLOAD
+
+    manifest = Path(tempfile.mkdtemp(prefix="repro-ci-manifest-")) / "resume.json"
+    resumed = suite_mod.compute_suite(workload, GRID, jobs=2, manifest=manifest)
+    fresh = suite_mod.compute_suite(workload, GRID, jobs=1, resume=False)
+    if flatten(resumed) != flatten(fresh):
+        sys.exit("FAIL: resumed results differ from an uninterrupted run")
+
+    data = json.loads(manifest.read_text())
+    sources = [t["source"] for t in data["tasks"]]
+    if data["status"] != "completed":
+        sys.exit(f"FAIL: manifest status {data['status']!r}")
+    if "checkpoint" not in sources:
+        sys.exit("FAIL: resume recomputed everything; no checkpoints were reused")
+    if any(t["seconds"] < 0 for t in data["tasks"]):
+        sys.exit("FAIL: manifest has negative task timings")
+    print(
+        f"fault-tolerance smoke OK: {sources.count('checkpoint')} checkpointed, "
+        f"{sources.count('computed')} recomputed, manifest at {manifest}"
+    )
+
+
+if __name__ == "__main__":
+    main()

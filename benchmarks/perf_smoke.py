@@ -1,8 +1,10 @@
 """Performance smoke benchmark: suite wall-clock and simulator throughput.
 
-Runs the evaluation suite once (uncached) plus the individual simulator
-hot paths on a small workload, and records the numbers to
-``BENCH_suite.json`` at the repo root so regressions show up in review.
+Runs the evaluation suite once (uncached), once again resuming from the
+per-task checkpoints the first run wrote (the warm-resume path a crashed
+run takes), plus the individual simulator hot paths on a small workload,
+and records the numbers — including the run's cache hit/miss counters —
+to ``BENCH_suite.json`` at the repo root so regressions show up in review.
 
 Run: ``PYTHONPATH=src python benchmarks/perf_smoke.py [--scale 0.001] [--jobs N]``
 """
@@ -14,6 +16,7 @@ import json
 import pathlib
 import time
 
+from repro.cache import default_cache
 from repro.experiments.config import KB, PRIMARY_ROWS
 from repro.experiments.harness import get_workload, layouts_for, resolve_jobs
 from repro.experiments.suite import compute_suite
@@ -36,9 +39,18 @@ def main(argv=None) -> None:
     workload_s = time.perf_counter() - t0
 
     grid = PRIMARY_ROWS
+    cache = default_cache()
+    cache.clear("suite-task")  # make the first suite run genuinely cold
+    stats0 = cache.stats.snapshot()
     t0 = time.perf_counter()
     suite = compute_suite(workload, grid, progress=True, jobs=jobs)
     suite_s = time.perf_counter() - t0
+
+    # warm resume: every task checkpointed above, so this is load + assembly
+    t0 = time.perf_counter()
+    compute_suite(workload, grid, jobs=jobs)
+    resume_s = time.perf_counter() - t0
+    cache_delta = cache.stats.delta(stats0)
 
     layout = layouts_for(workload, grid[0][0], grid[0][1], names=("orig",))["orig"]
     t0 = time.perf_counter()
@@ -61,6 +73,8 @@ def main(argv=None) -> None:
         "n_instructions": fr.n_instructions,
         "workload_seconds": round(workload_s, 3),
         "suite_seconds": round(suite_s, 3),
+        "suite_resume_seconds": round(resume_s, 3),
+        "cache_stats": cache_delta,
         "fetch_seconds": round(fetch_s, 3),
         "fetch_minstr_per_s": round(fr.n_instructions / fetch_s / 1e6, 3),
         "icache_seconds": round(icache_s, 3),

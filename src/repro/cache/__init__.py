@@ -7,6 +7,7 @@ from repro.cache.store import (
     ARTIFACT_VERSIONS,
     CACHE_VERSION,
     ArtifactCache,
+    CacheStats,
     cache_enabled,
     default_cache,
     stable_digest,
@@ -16,6 +17,7 @@ __all__ = [
     "ARTIFACT_VERSIONS",
     "CACHE_VERSION",
     "ArtifactCache",
+    "CacheStats",
     "cache_enabled",
     "default_cache",
     "stable_digest",

@@ -13,8 +13,13 @@ SHA-256 digest of a canonicalized key object plus two version salts:
 Keys canonicalize dataclasses (class name + field items), mappings, and
 sequences recursively, so any change to e.g. ``WorkloadSettings`` values
 (scale, seed, kernel seed) or the evaluation grid produces a different
-address. Writes are atomic (temp file + rename); unreadable or corrupt
-entries behave as misses.
+address. Writes are atomic (temp file + rename). Genuinely corrupt
+entries (truncated or unparseable pickles) are dropped and behave as
+misses; any other load error (``MemoryError``, an ``ImportError`` from a
+mid-edit source tree, permissions) is surfaced as a miss *without*
+deleting the entry, which may be perfectly valid. Every cache carries
+:class:`CacheStats` counters so long runs can report hit/miss/error
+behaviour in their manifests.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any
 
@@ -31,6 +37,7 @@ __all__ = [
     "ARTIFACT_VERSIONS",
     "CACHE_VERSION",
     "ArtifactCache",
+    "CacheStats",
     "cache_enabled",
     "default_cache",
     "stable_digest",
@@ -45,6 +52,7 @@ ARTIFACT_VERSIONS: dict[str, int] = {
     "workload": 1,
     "profile": 1,
     "suite": 1,
+    "suite-task": 1,  # per-task suite checkpoints (crash/interrupt resume)
 }
 
 _ENV_DIR = "REPRO_CACHE_DIR"
@@ -87,11 +95,50 @@ def stable_digest(obj: Any) -> str:
     return hashlib.sha256(payload).hexdigest()[:40]
 
 
+#: Orphaned write temporaries younger than this are left alone on the
+#: opportunistic sweep — they may belong to an in-flight store in another
+#: process. ``clear()`` ignores the age and reclaims everything.
+TMP_MAX_AGE_SECONDS = 3600.0
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for one :class:`ArtifactCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0  #: load errors surfaced as misses without unlinking
+    corrupt_dropped: int = 0  #: truncated/unparseable entries unlinked
+    tmp_swept: int = 0  #: orphaned ``*.tmp`` files reclaimed
+
+    def snapshot(self) -> "CacheStats":
+        return dataclasses.replace(self)
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def delta(self, since: "CacheStats") -> dict[str, int]:
+        """Per-counter change since an earlier :meth:`snapshot`."""
+        return {
+            f.name: getattr(self, f.name) - getattr(since, f.name)
+            for f in dataclasses.fields(self)
+        }
+
+
+#: Load failures that prove the entry itself is damaged (truncated file,
+#: garbage bytes). Anything else — MemoryError, ImportError while the
+#: source tree is mid-edit, EPERM — may strike a valid entry and must not
+#: destroy it.
+_CORRUPT_EXCEPTIONS = (pickle.UnpicklingError, EOFError)
+
+
 class ArtifactCache:
     """Pickle-backed artifact store with content-addressed keys."""
 
     def __init__(self, root: Path | str | None = None) -> None:
         self._root = Path(root) if root is not None else None
+        self.stats = CacheStats()
 
     @property
     def root(self) -> Path:
@@ -103,21 +150,34 @@ class ArtifactCache:
         return self.root / f"v{CACHE_VERSION}" / kind / f"{digest}.pkl"
 
     def load(self, kind: str, key_obj: Any) -> Any | None:
-        """The stored artifact, or ``None`` on miss/corruption/disable."""
+        """The stored artifact, or ``None`` on miss/corruption/disable.
+
+        Only genuine corruption (truncation, unparseable bytes) deletes
+        the entry; transient errors leave it in place for the next reader.
+        """
         if not cache_enabled():
             return None
         path = self.path_for(kind, key_obj)
         try:
             with open(path, "rb") as fh:
-                return pickle.load(fh)
+                value = pickle.load(fh)
         except FileNotFoundError:
+            self.stats.misses += 1
             return None
-        except Exception:  # corrupt entry: drop it and treat as a miss
+        except _CORRUPT_EXCEPTIONS:
+            self.stats.misses += 1
+            self.stats.corrupt_dropped += 1
             try:
                 path.unlink(missing_ok=True)
             except OSError:
                 pass
             return None
+        except Exception:
+            self.stats.misses += 1
+            self.stats.errors += 1
+            return None
+        self.stats.hits += 1
+        return value
 
     def store(self, kind: str, key_obj: Any, value: Any) -> Path | None:
         """Atomically persist ``value``; returns its path (None if disabled)."""
@@ -136,13 +196,40 @@ class ArtifactCache:
                 raise
         except OSError:
             return None  # read-only or full disk: caching is best-effort
+        self.stats.stores += 1
+        self._sweep_tmp(path.parent)
         return path
 
     def has(self, kind: str, key_obj: Any) -> bool:
         return cache_enabled() and self.path_for(kind, key_obj).exists()
 
+    def _sweep_tmp(self, directory: Path, max_age: float = TMP_MAX_AGE_SECONDS) -> int:
+        """Reclaim orphaned ``*.tmp`` files left by killed writers.
+
+        Files younger than ``max_age`` seconds survive: they may belong to
+        a store in flight in another process.
+        """
+        now = time.time()
+        removed = 0
+        try:
+            candidates = list(directory.glob("*.tmp"))
+        except OSError:
+            return 0
+        for p in candidates:
+            try:
+                if now - p.stat().st_mtime >= max_age:
+                    p.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        self.stats.tmp_swept += removed
+        return removed
+
     def clear(self, kind: str | None = None) -> int:
-        """Remove cached entries (one kind, or everything); returns count."""
+        """Remove cached entries (one kind, or everything); returns count.
+
+        Also reclaims orphaned write temporaries regardless of age.
+        """
         base = self.root / f"v{CACHE_VERSION}"
         if kind is not None:
             base = base / kind
@@ -155,6 +242,8 @@ class ArtifactCache:
                 removed += 1
             except OSError:
                 pass
+        for directory in {p.parent for p in base.rglob("*.tmp")}:
+            removed += self._sweep_tmp(directory, max_age=0.0)
         return removed
 
 

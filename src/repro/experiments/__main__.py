@@ -13,6 +13,7 @@ from repro.experiments.harness import (
     resolve_jobs,
     settings_from_args,
     standard_parser,
+    suite_options_from_args,
 )
 from repro.experiments.suite import get_suite
 
@@ -31,7 +32,13 @@ def main(argv=None) -> None:
     print()
     print(figure2.render(figure2.compute(workload)))
     print()
-    suite = get_suite(workload, CACHE_CFA_GRID, progress=True, jobs=resolve_jobs(args.jobs))
+    suite = get_suite(
+        workload,
+        CACHE_CFA_GRID,
+        progress=True,
+        jobs=resolve_jobs(args.jobs),
+        **suite_options_from_args(args),
+    )
     print(table3.render(suite, CACHE_CFA_GRID))
     print()
     print(table4.render(suite, CACHE_CFA_GRID))

@@ -22,6 +22,7 @@ __all__ = [
     "layouts_for",
     "standard_parser",
     "settings_from_args",
+    "suite_options_from_args",
     "resolve_jobs",
 ]
 
@@ -109,7 +110,37 @@ def standard_parser(description: str) -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the evaluation suite (0 = all cores, default 1)",
     )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="checkpoint each completed suite task and resume interrupted runs "
+        "from the checkpoints (--no-resume recomputes everything)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abort a parallel suite run if no task completes for this long",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write a JSON run manifest (settings, git rev, per-task timing, "
+        "cache hit/miss counters, retries and failures)",
+    )
     return parser
+
+
+def suite_options_from_args(args) -> dict:
+    """Fault-tolerance/observability kwargs threaded into the suite."""
+    return {
+        "resume": args.resume,
+        "task_timeout": args.task_timeout,
+        "manifest": args.manifest,
+    }
 
 
 def resolve_jobs(jobs: int | None) -> int:

@@ -16,6 +16,7 @@ from repro.experiments.harness import (
     resolve_jobs,
     settings_from_args,
     standard_parser,
+    suite_options_from_args,
 )
 from repro.experiments.suite import get_suite, suite_for
 from repro.tpcd.workload import Workload
@@ -30,9 +31,10 @@ def compute(
     *,
     progress: bool = False,
     jobs: int = 1,
+    **suite_options,
 ) -> dict[str, tuple[float, float]]:
     """``claim -> (measured, paper)``; reductions in percent."""
-    suite = get_suite(workload, grid, progress=progress, jobs=jobs)
+    suite = get_suite(workload, grid, progress=progress, jobs=jobs, **suite_options)
     ref_row = (64, 16) if (64, 16) in suite.cells else grid[-1]
     big_row = next(row for row in reversed(grid) if row in suite.cells)
     cache64 = next((row for row in grid if row[0] == 64), big_row)
@@ -88,7 +90,12 @@ def main(argv=None) -> None:
     args = standard_parser(__doc__.splitlines()[0]).parse_args(argv)
     # warm the suite via the disk-first path (skips the workload build on a
     # warm artifact cache), then reuse it through the in-memory layer
-    suite_for(settings_from_args(args), progress=True, jobs=resolve_jobs(args.jobs))
+    suite_for(
+        settings_from_args(args),
+        progress=True,
+        jobs=resolve_jobs(args.jobs),
+        **suite_options_from_args(args),
+    )
     workload = get_workload(settings_from_args(args))
     print(render(compute(workload, progress=True)))
 

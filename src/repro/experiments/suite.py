@@ -14,18 +14,40 @@ arrays are shared copy-on-write, each worker returns only scalar metrics,
 and assembly is deterministic, so parallel output is bit-identical to
 serial. Platforms without ``fork`` (and ``jobs=1``) run the same tasks
 serially.
+
+The engine is fault-tolerant and resumable:
+
+* every completed task's payload is checkpointed through the artifact
+  cache (kind ``suite-task``, keyed by the workload settings and task),
+  so a crashed, killed, or partially-failed run resumes by recomputing
+  only the missing tasks — and produces bit-identical results;
+* transient worker failures (fork OOM, cache I/O) are retried with
+  exponential backoff, bounded by ``retries``;
+* a permanent task failure names the task (:class:`SuiteTaskError`),
+  cancels pending work, and leaves every completed task checkpointed;
+* ``task_timeout`` bounds how long a parallel run may go with no task
+  completing — a stall raises :class:`SuiteTimeoutError` naming the
+  still-running tasks instead of hanging forever;
+* if the worker pool itself dies, the run degrades to in-parent serial
+  execution of the remaining tasks;
+* a :class:`~repro.experiments.runlog.RunLog` manifest records per-task
+  timing, checkpoint provenance, retries, failures and cache counters.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 import weakref
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.cache import default_cache
+from repro.cache import cache_enabled, default_cache
 from repro.experiments.config import CACHE_CFA_GRID, KB
 from repro.experiments.harness import get_workload, layouts_for, training_profile
+from repro.experiments.runlog import RunLog
 from repro.simulators import (
     CacheConfig,
     count_misses,
@@ -36,7 +58,15 @@ from repro.simulators.fetch import MISS_PENALTY_CYCLES
 from repro.tpcd.workload import Workload, WorkloadSettings
 from repro.util.progress import Progress
 
-__all__ = ["CellMetrics", "SuiteResults", "compute_suite", "get_suite", "suite_for"]
+__all__ = [
+    "CellMetrics",
+    "SuiteResults",
+    "SuiteTaskError",
+    "SuiteTimeoutError",
+    "compute_suite",
+    "get_suite",
+    "suite_for",
+]
 
 
 @dataclass
@@ -98,6 +128,8 @@ _Task = tuple[str, object]
 
 
 def _suite_tasks(grid, tc_rows) -> list[_Task]:
+    if not grid:  # empty grid: nothing to simulate, not even the bases
+        return []
     tasks: list[_Task] = [("base", "orig"), ("base", "P&H"), ("tc", "orig")]
     tasks.extend(("row", row) for row in grid)
     tasks.extend(("tc_ops", row) for row in tc_rows)
@@ -170,6 +202,8 @@ def _assemble(grid, tc_rows, results: dict[_Task, dict]) -> SuiteResults:
     """Deterministic assembly: iterates tasks in canonical order, so the
     result is independent of parallel completion order."""
     res = SuiteResults()
+    if not results:
+        return res
     base_orig = results[("base", "orig")]
     res.n_instructions = base_orig["n_instructions"]
     for name in ("orig", "P&H"):
@@ -192,6 +226,61 @@ def _assemble(grid, tc_rows, results: dict[_Task, dict]) -> SuiteResults:
     return res
 
 
+# -- fault tolerance -----------------------------------------------------
+
+class SuiteTaskError(RuntimeError):
+    """A suite task failed permanently.
+
+    Completed tasks remain checkpointed in the artifact cache, so a
+    re-run with ``resume=True`` recomputes only what is missing.
+    """
+
+    def __init__(self, task: _Task, label: str, cause: BaseException) -> None:
+        super().__init__(f"suite task failed: {label}: {cause!r}")
+        self.task = task
+        self.label = label
+        self.cause = cause
+
+
+class SuiteTimeoutError(RuntimeError):
+    """No task completed within ``task_timeout`` seconds of the last one."""
+
+    def __init__(self, labels: list[str], timeout: float) -> None:
+        super().__init__(
+            f"no suite task completed in {timeout:.1f}s; still running: {', '.join(labels)}"
+        )
+        self.labels = labels
+        self.timeout = timeout
+
+
+#: Failure classes worth retrying: environmental pressure (fork OOM,
+#: cache/trace I/O hiccups) rather than deterministic bugs in a task.
+_TRANSIENT_EXCEPTIONS = (OSError, MemoryError, EOFError)
+
+_RETRY_BACKOFF_SECONDS = 0.05
+
+
+def _is_transient(exc: BaseException) -> bool:
+    return isinstance(exc, _TRANSIENT_EXCEPTIONS)
+
+
+def _backoff(attempt: int) -> float:
+    return _RETRY_BACKOFF_SECONDS * (2 ** (attempt - 1))
+
+
+def _task_key(settings: WorkloadSettings, cache_sizes, task: _Task) -> tuple:
+    """Checkpoint address of one task's payload.
+
+    ``row``/``tc_ops`` payloads depend only on their own grid row, so
+    their checkpoints are shared across grids (a ``--quick`` run seeds
+    the full-grid run). ``base``/``tc`` payloads carry per-cache-size
+    tables and key on the grid's cache sizes as well.
+    """
+    if task[0] in ("base", "tc"):
+        return (settings, tuple(cache_sizes), task)
+    return (settings, task)
+
+
 # Worker context for fork-based pools: set in the parent immediately before
 # the fork so children inherit the workload (and its trace arrays)
 # copy-on-write instead of receiving pickled copies.
@@ -203,21 +292,97 @@ def _worker_run(task: _Task):
     return task, _task_payload(workload, task, grid, cache_sizes)
 
 
-def _run_parallel(workload, grid, cache_sizes, tasks, n_workers, prog) -> dict[_Task, dict]:
+def _run_serial(workload, grid, cache_sizes, tasks, retries, on_done, runlog, prog) -> None:
+    """In-parent execution with bounded retry for transient failures."""
+    for task in tasks:
+        label = _task_label(task)
+        attempts = 0
+        while True:
+            attempts += 1
+            t0 = time.perf_counter()
+            try:
+                payload = _task_payload(workload, task, grid, cache_sizes)
+            except Exception as exc:
+                if attempts <= retries and _is_transient(exc):
+                    runlog.task_retry(label, exc, attempts)
+                    prog.fail(f"{label}: {exc!r} (attempt {attempts}, retrying)")
+                    time.sleep(_backoff(attempts))
+                    continue
+                runlog.task_failed(label, task[0], exc, attempts)
+                prog.fail(f"{label}: {exc!r}")
+                raise SuiteTaskError(task, label, exc) from exc
+            on_done(task, payload, time.perf_counter() - t0, attempts)
+            break
+
+
+def _run_parallel(
+    workload, grid, cache_sizes, tasks, n_workers, task_timeout, retries, on_done, runlog, prog
+) -> list[_Task]:
+    """Fan tasks over a fork pool; returns tasks left undone by pool death.
+
+    A permanent task failure cancels everything pending and raises
+    :class:`SuiteTaskError`; transient failures are resubmitted with
+    backoff. ``task_timeout`` is a stall bound: if *no* task completes
+    for that long, the pending work is cancelled and
+    :class:`SuiteTimeoutError` names the still-running tasks. If the pool
+    itself breaks (a worker died hard), the unfinished tasks are returned
+    for in-parent serial execution instead of failing the run.
+    """
     global _WORKER_CTX
     _WORKER_CTX = (workload, grid, cache_sizes)
+    completed: set[_Task] = set()
+    ctx = multiprocessing.get_context("fork")
+    pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx)
     try:
-        ctx = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
-            futures = [pool.submit(_worker_run, task) for task in tasks]
-            results: dict[_Task, dict] = {}
-            for future in as_completed(futures):
-                task, payload = future.result()
-                results[task] = payload
-                prog.step(_task_label(task))
+        task_of = {pool.submit(_worker_run, task): task for task in tasks}
+        attempts = {task: 1 for task in tasks}
+        started = {task: time.perf_counter() for task in tasks}
+        pending = set(task_of)
+        while pending:
+            done, not_done = wait(pending, timeout=task_timeout, return_when=FIRST_COMPLETED)
+            if not done:  # stalled: nothing finished within the budget
+                labels = sorted(_task_label(task_of[f]) for f in not_done)
+                for f in not_done:
+                    f.cancel()
+                runlog.event("stall", tasks=labels, timeout=task_timeout)
+                prog.fail(f"stalled {task_timeout:.1f}s waiting on: {', '.join(labels)}")
+                raise SuiteTimeoutError(labels, task_timeout)
+            for future in done:
+                pending.discard(future)
+                task = task_of.pop(future)
+                label = _task_label(task)
+                try:
+                    _, payload = future.result()
+                except Exception as exc:
+                    if isinstance(exc, BrokenProcessPool):
+                        raise  # pool is gone: degrade to serial below
+                    if attempts[task] <= retries and _is_transient(exc):
+                        runlog.task_retry(label, exc, attempts[task])
+                        prog.fail(f"{label}: {exc!r} (attempt {attempts[task]}, retrying)")
+                        time.sleep(_backoff(attempts[task]))
+                        attempts[task] += 1
+                        started[task] = time.perf_counter()
+                        retry = pool.submit(_worker_run, task)
+                        task_of[retry] = task
+                        pending.add(retry)
+                    else:
+                        for f in pending:
+                            f.cancel()
+                        runlog.task_failed(label, task[0], exc, attempts[task])
+                        prog.fail(f"{label}: {exc!r}")
+                        raise SuiteTaskError(task, label, exc) from exc
+                else:
+                    completed.add(task)
+                    on_done(task, payload, time.perf_counter() - started[task], attempts[task])
+        return []
+    except BrokenProcessPool as exc:
+        remaining = [t for t in tasks if t not in completed]
+        runlog.event("pool-broken", error=repr(exc), remaining=len(remaining))
+        prog.fail(f"worker pool died ({exc!r}); running {len(remaining)} tasks serially")
+        return remaining
     finally:
+        pool.shutdown(wait=False, cancel_futures=True)
         _WORKER_CTX = None
-    return results
 
 
 def compute_suite(
@@ -227,29 +392,89 @@ def compute_suite(
     tc_rows: tuple[tuple[int, int], ...] | None = None,
     progress: bool = False,
     jobs: int = 1,
+    resume: bool = True,
+    task_timeout: float | None = None,
+    retries: int = 2,
+    manifest: Path | str | None = None,
 ) -> SuiteResults:
     """Evaluate all layouts over the grid on the Test-set trace.
 
     ``jobs > 1`` fans the (layout x geometry) tasks out over worker
     processes (fork platforms only); results are bit-identical to serial.
+
+    With ``resume=True`` (the default) each completed task is
+    checkpointed in the artifact cache and an interrupted or failed run
+    picks up where it left off; ``retries`` bounds per-task retry of
+    transient failures, ``task_timeout`` bounds how long a parallel run
+    may sit with no task completing, and ``manifest`` names a JSON file
+    to receive the structured run log (written on success *and* failure).
     """
     tc_rows = grid if tc_rows is None else tc_rows
     cache_sizes = sorted({c for c, _ in grid})
     tasks = _suite_tasks(grid, tc_rows)
-    n_workers = min(max(1, jobs), len(tasks))
+    settings = workload.settings
+    cache = default_cache()
+    checkpointing = resume and settings is not None and cache_enabled()
     prog = Progress("suite", total=len(tasks), enabled=progress)
+    runlog = RunLog(
+        "suite",
+        settings=settings,
+        jobs=jobs,
+        resume=resume,
+        task_timeout=task_timeout,
+        retries=retries,
+        n_tasks=len(tasks),
+        cache=cache,
+    )
 
-    # profile once in the parent: workers inherit it copy-on-write
-    training_profile(workload)
-
-    if n_workers > 1 and "fork" in multiprocessing.get_all_start_methods():
-        results = _run_parallel(workload, grid, cache_sizes, tasks, n_workers, prog)
-    else:
-        results = {}
+    results: dict[_Task, dict] = {}
+    if checkpointing:
         for task in tasks:
-            results[task] = _task_payload(workload, task, grid, cache_sizes)
-            prog.step(_task_label(task))
+            payload = cache.load("suite-task", _task_key(settings, cache_sizes, task))
+            if payload is not None:
+                results[task] = payload
+                runlog.task_done(
+                    _task_label(task), task[0], seconds=0.0, attempts=0, source="checkpoint"
+                )
+                prog.step(f"{_task_label(task)} [checkpoint]")
+
+    def on_done(task: _Task, payload: dict, seconds: float, attempts: int) -> None:
+        results[task] = payload
+        if checkpointing:
+            cache.store("suite-task", _task_key(settings, cache_sizes, task), payload)
+        runlog.task_done(
+            _task_label(task), task[0], seconds=seconds, attempts=attempts, source="computed"
+        )
+        prog.step(_task_label(task))
+
+    missing = [t for t in tasks if t not in results]
+    try:
+        if missing:
+            # profile once in the parent: workers inherit it copy-on-write
+            training_profile(workload)
+            n_workers = min(max(1, jobs), len(missing))
+            if n_workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+                remaining = _run_parallel(
+                    workload, grid, cache_sizes, missing, n_workers,
+                    task_timeout, retries, on_done, runlog, prog,
+                )
+                if remaining:  # pool died: finish in-parent
+                    _run_serial(
+                        workload, grid, cache_sizes, remaining, retries, on_done, runlog, prog
+                    )
+            else:
+                _run_serial(
+                    workload, grid, cache_sizes, missing, retries, on_done, runlog, prog
+                )
+    except BaseException as exc:
+        runlog.finish(status="failed", error=repr(exc))
+        if manifest is not None:
+            runlog.write(manifest)
+        raise
     prog.done()
+    runlog.finish(status="completed")
+    if manifest is not None:
+        runlog.write(manifest)
     return _assemble(grid, tc_rows, results)
 
 
@@ -263,6 +488,14 @@ def _suite_key(settings: WorkloadSettings, grid, tc_rows) -> tuple:
     return (settings, grid, tc_rows)
 
 
+def _write_cached_manifest(manifest: Path | str, settings, source: str) -> None:
+    """A full-suite cache hit still documents the run when asked to."""
+    runlog = RunLog("suite", settings=settings, n_tasks=0, cache=default_cache())
+    runlog.event("suite-cache-hit", source=source)
+    runlog.finish(status="cached")
+    runlog.write(manifest)
+
+
 def get_suite(
     workload: Workload,
     grid: tuple[tuple[int, int], ...] = CACHE_CFA_GRID,
@@ -270,6 +503,10 @@ def get_suite(
     tc_rows: tuple[tuple[int, int], ...] | None = None,
     progress: bool = False,
     jobs: int = 1,
+    resume: bool = True,
+    task_timeout: float | None = None,
+    retries: int = 2,
+    manifest: Path | str | None = None,
 ) -> SuiteResults:
     """Cached :func:`compute_suite`.
 
@@ -279,12 +516,14 @@ def get_suite(
     """
     tc_rows = grid if tc_rows is None else tc_rows
     settings = workload.settings
+    fault_kwargs = dict(resume=resume, task_timeout=task_timeout, retries=retries)
     if settings is None:
         per_workload = _SUITES_ADHOC.setdefault(workload, {})
         key = (grid, tc_rows)
         if key not in per_workload:
             per_workload[key] = compute_suite(
-                workload, grid, tc_rows=tc_rows, progress=progress, jobs=jobs
+                workload, grid, tc_rows=tc_rows, progress=progress, jobs=jobs,
+                manifest=manifest, **fault_kwargs,
             )
         return per_workload[key]
 
@@ -293,9 +532,16 @@ def get_suite(
         cache = default_cache()
         suite = cache.load("suite", key)
         if not isinstance(suite, SuiteResults):
-            suite = compute_suite(workload, grid, tc_rows=tc_rows, progress=progress, jobs=jobs)
+            suite = compute_suite(
+                workload, grid, tc_rows=tc_rows, progress=progress, jobs=jobs,
+                manifest=manifest, **fault_kwargs,
+            )
             cache.store("suite", key, suite)
+        elif manifest is not None:
+            _write_cached_manifest(manifest, settings, "disk")
         _SUITES[key] = suite
+    elif manifest is not None:
+        _write_cached_manifest(manifest, settings, "memory")
     return _SUITES[key]
 
 
@@ -306,16 +552,27 @@ def suite_for(
     tc_rows: tuple[tuple[int, int], ...] | None = None,
     progress: bool = False,
     jobs: int = 1,
+    resume: bool = True,
+    task_timeout: float | None = None,
+    retries: int = 2,
+    manifest: Path | str | None = None,
 ) -> SuiteResults:
     """Disk-first suite lookup: a warm artifact-cache hit returns without
     building the workload at all."""
     tc_rows_n = grid if tc_rows is None else tc_rows
     key = _suite_key(settings, grid, tc_rows_n)
     if key in _SUITES:
+        if manifest is not None:
+            _write_cached_manifest(manifest, settings, "memory")
         return _SUITES[key]
     suite = default_cache().load("suite", key)
     if isinstance(suite, SuiteResults):
         _SUITES[key] = suite
+        if manifest is not None:
+            _write_cached_manifest(manifest, settings, "disk")
         return suite
     workload = get_workload(settings)
-    return get_suite(workload, grid, tc_rows=tc_rows, progress=progress, jobs=jobs)
+    return get_suite(
+        workload, grid, tc_rows=tc_rows, progress=progress, jobs=jobs,
+        resume=resume, task_timeout=task_timeout, retries=retries, manifest=manifest,
+    )

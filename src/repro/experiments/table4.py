@@ -6,7 +6,12 @@ Run: ``python -m repro.experiments.table4 [--scale 0.005] [--quick]``
 from __future__ import annotations
 
 from repro.experiments.config import CACHE_CFA_GRID, PAPER_TABLE4, PRIMARY_ROWS
-from repro.experiments.harness import resolve_jobs, settings_from_args, standard_parser
+from repro.experiments.harness import (
+    resolve_jobs,
+    settings_from_args,
+    standard_parser,
+    suite_options_from_args,
+)
 from repro.experiments.suite import SuiteResults, get_suite, suite_for
 from repro.tpcd.workload import Workload
 from repro.util.fmt import format_table
@@ -20,8 +25,9 @@ def compute(
     *,
     progress: bool = False,
     jobs: int = 1,
+    **suite_options,
 ) -> SuiteResults:
-    return get_suite(workload, grid, progress=progress, jobs=jobs)
+    return get_suite(workload, grid, progress=progress, jobs=jobs, **suite_options)
 
 
 def _fmt_range(lo: float, hi: float) -> str:
@@ -80,7 +86,11 @@ def main(argv=None) -> None:
     args = parser.parse_args(argv)
     grid = PRIMARY_ROWS if args.quick else CACHE_CFA_GRID
     suite = suite_for(
-        settings_from_args(args), grid, progress=True, jobs=resolve_jobs(args.jobs)
+        settings_from_args(args),
+        grid,
+        progress=True,
+        jobs=resolve_jobs(args.jobs),
+        **suite_options_from_args(args),
     )
     print(render(suite, grid))
 

@@ -19,7 +19,12 @@ class Progress:
     """Step counter that prints ``[HH:MM:SS] [label] k/N (rate, ETA) msg``.
 
     ``enabled=False`` (the default) makes every method a no-op, so callers
-    thread a single flag instead of guarding each report site.
+    thread a single flag instead of guarding each report site. ``total``
+    distinguishes *unknown* (``None``) from *zero work* (``0``): a
+    zero-task run renders ``0/0`` rather than pretending the total is
+    open-ended. :meth:`fail` reports failed/retried units without
+    advancing the counter, so a stream of task reports survives individual
+    task failures.
     """
 
     def __init__(
@@ -38,6 +43,7 @@ class Progress:
         self._clock = clock
         self._t0 = clock()
         self.count = 0
+        self.failures = 0
 
     def _emit(self, text: str) -> None:
         stamp = time.strftime("%H:%M:%S")
@@ -50,16 +56,24 @@ class Progress:
             return
         elapsed = max(self._clock() - self._t0, 1e-9)
         rate = self.count / elapsed
-        parts = [f"{self.count}/{self.total}" if self.total else f"{self.count}"]
+        parts = [f"{self.count}/{self.total}" if self.total is not None else f"{self.count}"]
         parts.append(f"{rate:.2f}/s")
-        if self.total and self.count < self.total:
+        if self.total is not None and self.count < self.total:
             parts.append(f"ETA {(self.total - self.count) / rate:.0f}s")
         prefix = f"{parts[0]} ({', '.join(parts[1:])})"
         self._emit(f"{prefix} {message}".rstrip())
+
+    def fail(self, message: str = "") -> None:
+        """Report a failed or retried unit without ending the stream."""
+        self.failures += 1
+        if not self.enabled:
+            return
+        self._emit(f"FAIL {message}".rstrip())
 
     def done(self, message: str = "") -> None:
         """Report total wall-clock for the whole run."""
         if not self.enabled:
             return
         elapsed = self._clock() - self._t0
-        self._emit(f"done: {self.count} steps in {elapsed:.1f}s {message}".rstrip())
+        tail = f", {self.failures} failed" if self.failures else ""
+        self._emit(f"done: {self.count} steps in {elapsed:.1f}s{tail} {message}".rstrip())

@@ -1,3 +1,5 @@
+import os
+import time
 from dataclasses import dataclass
 
 import pytest
@@ -9,6 +11,7 @@ from repro.cache import (
     default_cache,
     stable_digest,
 )
+from repro.cache import store as store_mod
 
 
 @dataclass(frozen=True)
@@ -60,6 +63,71 @@ def test_corrupt_entry_is_a_miss_and_is_removed(tmp_path):
     path.write_bytes(b"not a pickle")
     assert cache.load("suite", key) is None
     assert not path.exists()
+    assert cache.stats.corrupt_dropped == 1
+
+
+def test_truncated_entry_is_a_miss_and_is_removed(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = Key()
+    path = cache.store("suite", key, list(range(1000)))
+    path.write_bytes(path.read_bytes()[:10])  # killed mid-write long ago
+    assert cache.load("suite", key) is None
+    assert not path.exists()
+    assert cache.stats.corrupt_dropped == 1
+
+
+def test_transient_load_error_does_not_destroy_the_entry(tmp_path, monkeypatch):
+    cache = ArtifactCache(tmp_path)
+    key = Key()
+    path = cache.store("suite", key, {"answer": 42})
+
+    def raising_load(fh):
+        raise ImportError("source tree mid-edit")
+
+    monkeypatch.setattr(store_mod.pickle, "load", raising_load)
+    assert cache.load("suite", key) is None  # a miss...
+    assert path.exists()  # ...but the valid entry survives
+    assert cache.stats.errors == 1
+    monkeypatch.undo()
+    assert cache.load("suite", key) == {"answer": 42}
+
+
+def test_stats_count_hits_misses_and_stores(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.load("suite", "absent")
+    cache.store("suite", "k", "v")
+    cache.load("suite", "k")
+    cache.load("suite", "k")
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 1
+    assert cache.stats.hits == 2
+    delta = cache.stats.delta(cache.stats.snapshot())
+    assert all(v == 0 for v in delta.values())
+
+
+def test_store_sweeps_stale_tmp_files_but_spares_fresh_ones(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    first = cache.store("suite", "a", 1)
+    stale = first.parent / "dead-writer.tmp"
+    stale.write_bytes(b"partial")
+    old = time.time() - 2 * store_mod.TMP_MAX_AGE_SECONDS
+    os.utime(stale, (old, old))
+    fresh = first.parent / "inflight-writer.tmp"
+    fresh.write_bytes(b"partial")
+
+    cache.store("suite", "b", 2)
+    assert not stale.exists()  # orphan reclaimed
+    assert fresh.exists()  # possibly another process mid-store: spared
+    assert cache.stats.tmp_swept == 1
+
+
+def test_clear_reclaims_tmp_files_regardless_of_age(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    path = cache.store("suite", "a", 1)
+    fresh = path.parent / "fresh-orphan.tmp"
+    fresh.write_bytes(b"partial")
+    assert cache.clear("suite") == 2  # the entry and the orphan
+    assert not fresh.exists()
 
 
 def test_disable_env(tmp_path, monkeypatch):

@@ -1,0 +1,257 @@
+"""Fault-tolerant suite engine: checkpoint/resume, retry, timeout, manifest.
+
+Each test points ``REPRO_CACHE_DIR`` at its own directory so checkpoint
+state never leaks between tests (the default cache re-reads the env on
+every access); workload and profile stay warm in the in-memory layers.
+"""
+
+import dataclasses
+import json
+import os
+import time
+
+import pytest
+
+from repro.cache import default_cache
+from repro.experiments import suite as suite_mod
+from repro.experiments.config import PRIMARY_ROWS
+from repro.experiments.harness import get_workload
+from repro.experiments.suite import (
+    SuiteTaskError,
+    SuiteTimeoutError,
+    compute_suite,
+)
+from repro.tpcd.workload import WorkloadSettings
+
+SETTINGS = WorkloadSettings(scale=0.0005)
+GRID = PRIMARY_ROWS[:2]
+FAIL_TASK = ("row", GRID[1])
+
+REAL_PAYLOAD = suite_mod._task_payload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload(SETTINGS)
+
+
+@pytest.fixture(autouse=True)
+def _private_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    yield
+
+
+def _flatten(s):
+    out = {"n": s.n_instructions}
+    for row, cells in s.cells.items():
+        for name, m in cells.items():
+            out[(row, name)] = dataclasses.astuple(m)
+    out["assoc"] = s.assoc_miss
+    out["victim"] = s.victim_miss
+    out["tc"] = (s.tc_ideal, s.tc_hit_rate, tuple(sorted(s.tc_ipc.items())))
+    out["tc_ops"] = tuple(sorted(s.tc_ops_ipc.items()))
+    return out
+
+
+def _checkpoint_files():
+    root = default_cache().root
+    return list(root.rglob("suite-task/*.pkl"))
+
+
+def test_failing_task_names_task_and_preserves_checkpoints(workload, monkeypatch):
+    def boom(wl, task, grid, cache_sizes):
+        if task == FAIL_TASK:
+            raise ValueError("injected deterministic failure")
+        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+
+    monkeypatch.setattr(suite_mod, "_task_payload", boom)
+    with pytest.raises(SuiteTaskError) as excinfo:
+        compute_suite(workload, GRID, jobs=1)
+    assert suite_mod._task_label(FAIL_TASK) in str(excinfo.value)
+    assert excinfo.value.task == FAIL_TASK
+    # everything completed before the failure survived the crash
+    assert len(_checkpoint_files()) == 4  # base x2, tc, first row
+
+
+def test_resume_recomputes_only_missing_and_is_bit_identical(
+    workload, tmp_path, monkeypatch
+):
+    def boom(wl, task, grid, cache_sizes):
+        if task == FAIL_TASK:
+            raise ValueError("injected deterministic failure")
+        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+
+    monkeypatch.setattr(suite_mod, "_task_payload", boom)
+    with pytest.raises(SuiteTaskError):
+        compute_suite(workload, GRID, jobs=1)
+    checkpointed = len(_checkpoint_files())
+    assert 0 < checkpointed < len(suite_mod._suite_tasks(GRID, GRID))
+
+    calls = []
+
+    def counting(wl, task, grid, cache_sizes):
+        calls.append(task)
+        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+
+    monkeypatch.setattr(suite_mod, "_task_payload", counting)
+    manifest = tmp_path / "resume.json"
+    resumed = compute_suite(workload, GRID, jobs=1, manifest=manifest)
+    resume_calls = list(calls)
+    assert FAIL_TASK in resume_calls
+    assert len(resume_calls) == len(suite_mod._suite_tasks(GRID, GRID)) - checkpointed
+
+    fresh = compute_suite(workload, GRID, jobs=1, resume=False)
+    assert _flatten(resumed) == _flatten(fresh)
+
+    data = json.loads(manifest.read_text())
+    assert data["status"] == "completed"
+    assert data["settings"]["scale"] == SETTINGS.scale
+    sources = [t["source"] for t in data["tasks"]]
+    assert sources.count("checkpoint") == checkpointed
+    assert sources.count("computed") == len(resume_calls)
+    assert all(t["seconds"] >= 0 for t in data["tasks"])
+    assert "cache" in data and data["cache"]["hits"] >= checkpointed
+
+
+def test_parallel_failure_cancels_pending_and_resume_completes(workload, monkeypatch):
+    def boom(wl, task, grid, cache_sizes):
+        if task == FAIL_TASK:
+            raise ValueError("injected parallel failure")
+        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+
+    monkeypatch.setattr(suite_mod, "_task_payload", boom)
+    with pytest.raises(SuiteTaskError) as excinfo:
+        compute_suite(workload, GRID, jobs=2)
+    assert suite_mod._task_label(FAIL_TASK) in str(excinfo.value)
+    checkpointed = {p.name for p in _checkpoint_files()}
+
+    monkeypatch.setattr(suite_mod, "_task_payload", REAL_PAYLOAD)
+    resumed = compute_suite(workload, GRID, jobs=2)
+    fresh = compute_suite(workload, GRID, jobs=1, resume=False)
+    assert _flatten(resumed) == _flatten(fresh)
+    # checkpoints written before the failure were reused, not recomputed
+    assert checkpointed <= {p.name for p in _checkpoint_files()}
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_transient_failure_retries_then_succeeds(workload, tmp_path, monkeypatch, jobs):
+    marker = tmp_path / "failed-once"  # cross-process: workers are forks
+
+    def flaky(wl, task, grid, cache_sizes):
+        if task == FAIL_TASK and not marker.exists():
+            marker.write_text("x")
+            raise OSError("injected transient failure")
+        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+
+    monkeypatch.setattr(suite_mod, "_task_payload", flaky)
+    manifest = tmp_path / "retry.json"
+    result = compute_suite(workload, GRID, jobs=jobs, manifest=manifest)
+
+    fresh = compute_suite(workload, GRID, jobs=1, resume=False)
+    assert _flatten(result) == _flatten(fresh)
+    data = json.loads(manifest.read_text())
+    retries = [e for e in data["events"] if e["type"] == "retry"]
+    assert len(retries) == 1
+    assert retries[0]["task"] == suite_mod._task_label(FAIL_TASK)
+    retried = next(t for t in data["tasks"] if t["label"] == suite_mod._task_label(FAIL_TASK))
+    assert retried["attempts"] == 2
+
+
+def test_deterministic_failure_is_not_retried(workload, tmp_path, monkeypatch):
+    attempts = []
+
+    def boom(wl, task, grid, cache_sizes):
+        if task == FAIL_TASK:
+            attempts.append(task)
+            raise ValueError("deterministic: retrying would be futile")
+        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+
+    monkeypatch.setattr(suite_mod, "_task_payload", boom)
+    manifest = tmp_path / "fail.json"
+    with pytest.raises(SuiteTaskError):
+        compute_suite(workload, GRID, jobs=1, manifest=manifest)
+    assert len(attempts) == 1
+    data = json.loads(manifest.read_text())
+    assert data["status"] == "failed"
+    failed = [t for t in data["tasks"] if t["status"] == "failed"]
+    assert len(failed) == 1 and "ValueError" in failed[0]["error"]
+
+
+def test_hanging_parallel_task_raises_timeout_naming_it(workload, tmp_path, monkeypatch):
+    hang_task = ("tc", "orig")
+
+    def hanging(wl, task, grid, cache_sizes):
+        if task == hang_task:
+            time.sleep(8)  # bounded so the orphaned worker exits by session end
+        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+
+    monkeypatch.setattr(suite_mod, "_task_payload", hanging)
+    manifest = tmp_path / "stall.json"
+    with pytest.raises(SuiteTimeoutError) as excinfo:
+        compute_suite(workload, GRID, jobs=2, task_timeout=2.5, manifest=manifest)
+    assert suite_mod._task_label(hang_task) in str(excinfo.value)
+    data = json.loads(manifest.read_text())
+    assert data["status"] == "failed"
+    assert any(e["type"] == "stall" for e in data["events"])
+
+
+def test_dead_worker_pool_degrades_to_serial(workload, tmp_path, monkeypatch):
+    parent = os.getpid()
+    kill_task = ("row", GRID[0])
+
+    def killer(wl, task, grid, cache_sizes):
+        if task == kill_task and os.getpid() != parent:
+            os._exit(3)  # hard worker death: no exception crosses the pipe
+        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+
+    monkeypatch.setattr(suite_mod, "_task_payload", killer)
+    manifest = tmp_path / "pool.json"
+    result = compute_suite(workload, GRID, jobs=2, manifest=manifest)
+
+    monkeypatch.setattr(suite_mod, "_task_payload", REAL_PAYLOAD)
+    fresh = compute_suite(workload, GRID, jobs=1, resume=False)
+    assert _flatten(result) == _flatten(fresh)
+    data = json.loads(manifest.read_text())
+    assert data["status"] == "completed"
+    assert any(e["type"] == "pool-broken" for e in data["events"])
+
+
+def test_no_resume_recomputes_everything(workload, monkeypatch):
+    compute_suite(workload, GRID, jobs=1)  # populate checkpoints
+    calls = []
+
+    def counting(wl, task, grid, cache_sizes):
+        calls.append(task)
+        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+
+    monkeypatch.setattr(suite_mod, "_task_payload", counting)
+    compute_suite(workload, GRID, jobs=1, resume=False)
+    assert len(calls) == len(suite_mod._suite_tasks(GRID, GRID))
+
+
+def test_empty_grid_is_an_empty_run(workload, tmp_path):
+    manifest = tmp_path / "empty.json"
+    result = compute_suite(workload, (), jobs=2, progress=True, manifest=manifest)
+    assert result.n_instructions == 0
+    assert result.cells == {}
+    data = json.loads(manifest.read_text())
+    assert data["status"] == "completed"
+    assert data["n_tasks"] == 0 and data["tasks"] == []
+
+
+def test_quick_run_checkpoints_seed_the_larger_grid(workload, monkeypatch):
+    quick = GRID[:1]
+    compute_suite(workload, quick, jobs=1)
+    calls = []
+
+    def counting(wl, task, grid, cache_sizes):
+        calls.append(task)
+        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+
+    monkeypatch.setattr(suite_mod, "_task_payload", counting)
+    compute_suite(workload, GRID, jobs=1)
+    # row/tc_ops checkpoints are grid-independent: the quick run's rows
+    # are reused, only the new row and the per-cache-size bases recompute
+    assert ("row", GRID[0]) not in calls
+    assert ("tc_ops", GRID[0]) not in calls
+    assert ("row", GRID[1]) in calls

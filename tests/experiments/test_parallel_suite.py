@@ -39,8 +39,10 @@ def _flatten(s):
 
 
 def test_parallel_is_bit_identical_to_serial(workload):
-    serial = compute_suite(workload, GRID, jobs=1)
-    parallel = compute_suite(workload, GRID, jobs=3)
+    # resume=False so the parallel run actually computes rather than
+    # loading the serial run's task checkpoints
+    serial = compute_suite(workload, GRID, jobs=1, resume=False)
+    parallel = compute_suite(workload, GRID, jobs=3, resume=False)
     assert _flatten(serial) == _flatten(parallel)
 
 

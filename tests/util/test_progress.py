@@ -54,3 +54,38 @@ def test_no_total_just_counts():
     first_line = out.getvalue().splitlines()[0]
     assert "1 (" in first_line
     assert "/s" in first_line
+
+
+def test_zero_total_is_a_total_not_unknown():
+    out = io.StringIO()
+    clock = FakeClock()
+    prog = Progress("x", total=0, enabled=True, stream=out, clock=clock)
+    clock.t = 1.0
+    prog.step("unexpected extra unit")
+    line = out.getvalue().splitlines()[0]
+    assert "1/0" in line  # renders against the declared total, not bare "1 ("
+    assert "ETA" not in line
+    prog.done()
+    assert "1 steps" in out.getvalue()
+
+
+def test_fail_reports_without_ending_the_stream():
+    out = io.StringIO()
+    clock = FakeClock()
+    prog = Progress("suite", total=2, enabled=True, stream=out, clock=clock)
+    prog.step("a")
+    prog.fail("task b: OSError('fork')")
+    prog.step("b retried")
+    prog.done()
+    lines = out.getvalue().splitlines()
+    assert any("FAIL task b" in line for line in lines)
+    assert prog.count == 2 and prog.failures == 1
+    assert "2 steps" in lines[-1] and "1 failed" in lines[-1]
+
+
+def test_fail_is_silent_when_disabled():
+    out = io.StringIO()
+    prog = Progress("x", total=1, stream=out)
+    prog.fail("boom")
+    assert prog.failures == 1
+    assert out.getvalue() == ""
