@@ -28,7 +28,7 @@ from repro.tpcd.workload import WorkloadSettings  # noqa: E402
 SETTINGS = WorkloadSettings(scale=0.0005)
 GRID = PRIMARY_ROWS[:2]
 FAIL_TASK = ("row", GRID[1])
-REAL_PAYLOAD = suite_mod._task_payload
+REAL_UNIT = suite_mod._unit_for
 
 
 def flatten(s):
@@ -46,12 +46,12 @@ def flatten(s):
 def main() -> None:
     workload = get_workload(SETTINGS)
 
-    def boom(wl, task, grid, cache_sizes):
+    def boom(wl, task, grid, cache_sizes, layout_memo=None):
         if task == FAIL_TASK:
             raise ValueError("injected CI worker failure")
-        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+        return REAL_UNIT(wl, task, grid, cache_sizes, layout_memo)
 
-    suite_mod._task_payload = boom
+    suite_mod._unit_for = boom
     try:
         try:
             suite_mod.compute_suite(workload, GRID, jobs=2)
@@ -62,7 +62,7 @@ def main() -> None:
         else:
             sys.exit("FAIL: expected SuiteTaskError from the injected failure")
     finally:
-        suite_mod._task_payload = REAL_PAYLOAD
+        suite_mod._unit_for = REAL_UNIT
 
     manifest = Path(tempfile.mkdtemp(prefix="repro-ci-manifest-")) / "resume.json"
     resumed = suite_mod.compute_suite(workload, GRID, jobs=2, manifest=manifest)

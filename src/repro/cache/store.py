@@ -49,10 +49,11 @@ CACHE_VERSION = 1
 #: Per-kind schema versions, folded into every key of that kind. Bump one
 #: when the producing code changes what the artifact means.
 ARTIFACT_VERSIONS: dict[str, int] = {
-    "workload": 1,
+    "workload": 2,  # v2: traces stored as on-disk TraceStore files
     "profile": 1,
     "suite": 1,
     "suite-task": 1,  # per-task suite checkpoints (crash/interrupt resume)
+    "trace": 1,  # chunked trace files (repro.profiling.tracestore format v1)
 }
 
 _ENV_DIR = "REPRO_CACHE_DIR"
@@ -203,6 +204,18 @@ class ArtifactCache:
     def has(self, kind: str, key_obj: Any) -> bool:
         return cache_enabled() and self.path_for(kind, key_obj).exists()
 
+    def file_path(self, kind: str, key_obj: Any, suffix: str = ".bin") -> Path:
+        """Content-addressed location for a *file* artifact.
+
+        For artifacts that manage their own on-disk format (e.g. stored
+        traces), the cache hands out an addressed path instead of
+        pickling; the producer is responsible for writing it atomically
+        (write to a ``*.tmp`` sibling, then rename — orphaned temporaries
+        are reclaimed by the same sweep as pickle writes).
+        """
+        digest = stable_digest((kind, ARTIFACT_VERSIONS.get(kind, 0), key_obj))
+        return self.root / f"v{CACHE_VERSION}" / kind / f"{digest}{suffix}"
+
     def _sweep_tmp(self, directory: Path, max_age: float = TMP_MAX_AGE_SECONDS) -> int:
         """Reclaim orphaned ``*.tmp`` files left by killed writers.
 
@@ -236,7 +249,9 @@ class ArtifactCache:
         if not base.exists():
             return 0
         removed = 0
-        for p in sorted(base.rglob("*.pkl")):
+        for p in sorted(base.rglob("*")):
+            if not p.is_file() or p.suffix == ".tmp":
+                continue
             try:
                 p.unlink()
                 removed += 1

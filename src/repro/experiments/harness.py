@@ -13,6 +13,7 @@ from repro.cfg.weighted import WeightedCFG
 from repro.core import CacheGeometry, STCParams, stc_layout
 from repro.experiments.config import KB
 from repro.profiling import profile_trace
+from repro.profiling.tracestore import TraceFormatError, TraceStore
 from repro.tpcd.workload import Workload, WorkloadSettings
 
 __all__ = [
@@ -36,6 +37,23 @@ _PROFILES: dict[WorkloadSettings, WeightedCFG] = {}
 _PROFILES_ADHOC: "weakref.WeakKeyDictionary[Workload, WeightedCFG]" = weakref.WeakKeyDictionary()
 
 
+def _stored_traces_ok(workload: Workload) -> bool:
+    """A cached workload is only usable if its trace files still read.
+
+    Workloads persist with :class:`TraceStore` handles into the cache
+    directory; if those files were deleted or damaged since, the pickle
+    hit must be treated as a miss so the workload (and its traces) are
+    rebuilt.
+    """
+    for trace in (workload.training_trace, workload.test_trace):
+        if isinstance(trace, TraceStore):
+            try:
+                trace.verify()
+            except TraceFormatError:
+                return False
+    return True
+
+
 def get_workload(settings: WorkloadSettings = WorkloadSettings()) -> Workload:
     """Build (once per process) and cache the workload for these settings.
 
@@ -46,7 +64,7 @@ def get_workload(settings: WorkloadSettings = WorkloadSettings()) -> Workload:
     if settings not in _WORKLOADS:
         cache = default_cache()
         workload = cache.load("workload", settings)
-        if not isinstance(workload, Workload):
+        if not isinstance(workload, Workload) or not _stored_traces_ok(workload):
             workload = settings.build()
             cache.store("workload", settings, workload)
         workload.settings = settings

@@ -7,13 +7,20 @@ scalars, cached per workload settings — in memory and in the persistent
 artifact cache — so Table 3, Table 4 and the headline module share the
 work within and across processes.
 
-The suite is decomposed into self-contained (layout x geometry) tasks.
-With ``jobs > 1`` the tasks fan out over a fork-based
+The suite is decomposed into self-contained (layout x geometry) tasks,
+and the engine executes them *fused*: tasks are grouped (at most
+``_FUSE_LIMIT`` per group) and each group makes a single streaming pass
+over the trace (:func:`repro.simulators.run_fused`) feeding every task's
+incremental fetch/trace-cache streams and attached i-cache miss counters
+at once — the trace is decoded and expanded once per group instead of
+once per simulation, and peak memory stays one window regardless of group
+size. With ``jobs > 1`` the groups fan out over a fork-based
 :class:`~concurrent.futures.ProcessPoolExecutor` — the workload's trace
-arrays are shared copy-on-write, each worker returns only scalar metrics,
-and assembly is deterministic, so parallel output is bit-identical to
-serial. Platforms without ``fork`` (and ``jobs=1``) run the same tasks
-serially.
+handles are shared copy-on-write, each worker returns only scalar
+metrics, and assembly is deterministic, so parallel output is
+bit-identical to serial (and to the unfused reference
+:func:`_task_payload`). Platforms without ``fork`` (and ``jobs=1``) run
+the same groups in-parent.
 
 The engine is fault-tolerant and resumable:
 
@@ -50,7 +57,11 @@ from repro.experiments.harness import get_workload, layouts_for, training_profil
 from repro.experiments.runlog import RunLog
 from repro.simulators import (
     CacheConfig,
+    FetchStream,
+    TraceCacheStream,
     count_misses,
+    miss_counter,
+    run_fused,
     simulate_fetch,
     simulate_trace_cache,
 )
@@ -103,16 +114,31 @@ class SuiteResults:
         return self.cells[row][layout].run_length
 
 
-def _metrics(fetch_result, cache_kb: int) -> CellMetrics:
-    misses = count_misses(fetch_result.line_chunks, CacheConfig(size_bytes=cache_kb * KB))
-    n = fetch_result.n_instructions
-    cycles = fetch_result.n_fetches + MISS_PENALTY_CYCLES * misses
+def _cell(n: int, n_fetches: int, ideal_ipc: float, run_length: float, misses: int) -> CellMetrics:
+    """Shared metric arithmetic for the per-config and fused paths."""
+    cycles = n_fetches + MISS_PENALTY_CYCLES * misses
     return CellMetrics(
         miss_rate=100.0 * misses / n if n else 0.0,
         ipc=n / cycles if cycles else 0.0,
-        ideal_ipc=fetch_result.ideal_ipc,
-        run_length=fetch_result.instructions_between_taken,
+        ideal_ipc=ideal_ipc,
+        run_length=run_length,
     )
+
+
+def _metrics(fetch_result, cache_kb: int) -> CellMetrics:
+    misses = count_misses(fetch_result.line_chunks, CacheConfig(size_bytes=cache_kb * KB))
+    return _cell(
+        fetch_result.n_instructions,
+        fetch_result.n_fetches,
+        fetch_result.ideal_ipc,
+        fetch_result.instructions_between_taken,
+        misses,
+    )
+
+
+def _tc_bandwidth(n_instructions: int, n_cycles_base: int, misses: int = 0) -> float:
+    cycles = n_cycles_base + MISS_PENALTY_CYCLES * misses
+    return n_instructions / cycles if cycles else 0.0
 
 
 # -- task decomposition --------------------------------------------------
@@ -128,11 +154,20 @@ _Task = tuple[str, object]
 
 
 def _suite_tasks(grid, tc_rows) -> list[_Task]:
+    """Canonical task order, arranged so that tasks sharing a layout
+    (base/tc over ``orig``, row/tc_ops over one geometry) sit next to
+    each other — the fused engine groups contiguous tasks, and adjacent
+    tasks of one layout share its per-window expansion."""
     if not grid:  # empty grid: nothing to simulate, not even the bases
         return []
-    tasks: list[_Task] = [("base", "orig"), ("base", "P&H"), ("tc", "orig")]
-    tasks.extend(("row", row) for row in grid)
-    tasks.extend(("tc_ops", row) for row in tc_rows)
+    tasks: list[_Task] = [("base", "orig"), ("tc", "orig"), ("base", "P&H")]
+    tc_set = set(tc_rows)
+    for row in grid:
+        tasks.append(("row", row))
+        if row in tc_set:
+            tasks.append(("tc_ops", row))
+    grid_set = set(grid)
+    tasks.extend(("tc_ops", row) for row in tc_rows if row not in grid_set)
     return tasks
 
 
@@ -196,6 +231,186 @@ def _task_payload(workload: Workload, task: _Task, grid, cache_sizes) -> dict:
             "ideal": tc.bandwidth(None),
         }
     raise ValueError(f"unknown suite task {task!r}")
+
+
+# -- fused execution -----------------------------------------------------
+#
+# The engine does not run tasks one simulation at a time: tasks are
+# grouped and each group makes a *single* pass over the trace
+# (repro.simulators.run_fused), with every task contributing incremental
+# streams whose i-cache configurations are attached miss counters. The
+# per-task payloads are assembled from the stream counters with the same
+# arithmetic as _task_payload, so they are bit-identical to the
+# one-simulation-per-task path (which remains above as the reference
+# implementation, exercised by the equivalence tests).
+
+#: Upper bound on tasks fused into one trace pass. Groups stay small so
+#: retry, stall detection and checkpointing keep useful granularity.
+_FUSE_LIMIT = 8
+
+
+def _unit_for(workload: Workload, task: _Task, grid, cache_sizes, layout_memo=None):
+    """Build one task's fused streams and payload finalizer.
+
+    Returns ``(pairs, finalize)``: ``pairs`` are the ``(layout, stream)``
+    contributions to the fused pass, ``finalize()`` assembles the task
+    payload from the stream counters afterwards. ``layout_memo`` shares
+    layout objects across the units of one group, which lets the fused
+    driver share their per-window expansion as well.
+    """
+    kind, arg = task
+    memo = layout_memo if layout_memo is not None else {}
+
+    def layout_of(name: str, cache_kb: int, cfa_kb: int):
+        key = (name, cache_kb, cfa_kb)
+        if key not in memo:
+            memo[key] = layouts_for(workload, cache_kb, cfa_kb, names=(name,))[name]
+        return memo[key]
+
+    if kind == "base":
+        layout = layout_of(arg, grid[0][0], grid[0][1])
+        counters = {c: miss_counter(CacheConfig(size_bytes=c * KB)) for c in cache_sizes}
+        consumers = list(counters.values())
+        if arg == "orig":
+            assoc = {
+                c: miss_counter(CacheConfig(size_bytes=c * KB, associativity=2))
+                for c in cache_sizes
+            }
+            victim = {
+                c: miss_counter(CacheConfig(size_bytes=c * KB, victim_lines=16))
+                for c in cache_sizes
+            }
+            consumers += list(assoc.values()) + list(victim.values())
+        stream = FetchStream(layout.name, consumers=consumers)
+
+        def finalize() -> dict:
+            n = stream.n_instructions
+            fetches = stream.n_fetches
+            ideal = n / fetches if fetches else 0.0
+            run_length = n / stream.n_taken if stream.n_taken else float("inf")
+            payload = {
+                "n_instructions": n,
+                "per_cache": {
+                    c: _cell(n, fetches, ideal, run_length, counters[c].misses)
+                    for c in cache_sizes
+                },
+            }
+            if arg == "orig":
+                payload["assoc"] = {c: 100.0 * assoc[c].misses / n for c in cache_sizes}
+                payload["victim"] = {c: 100.0 * victim[c].misses / n for c in cache_sizes}
+            return payload
+
+        return [(layout, stream)], finalize
+
+    if kind == "tc":
+        layout = layout_of("orig", grid[0][0], grid[0][1])
+        counters = {c: miss_counter(CacheConfig(size_bytes=c * KB)) for c in cache_sizes}
+        stream = TraceCacheStream(layout.name, consumers=list(counters.values()))
+
+        def finalize() -> dict:
+            n = stream.n_instructions
+            attempts = stream.n_hits + stream.n_misses
+            return {
+                "ideal": _tc_bandwidth(n, stream.n_cycles_base),
+                "hit_rate": stream.n_hits / attempts if attempts else 0.0,
+                "ipc": {
+                    c: _tc_bandwidth(n, stream.n_cycles_base, counters[c].misses)
+                    for c in cache_sizes
+                },
+            }
+
+        return [(layout, stream)], finalize
+
+    if kind == "row":
+        cache_kb, cfa_kb = arg
+        streams: dict[str, tuple[FetchStream, object]] = {}
+        pairs = []
+        for name in ("Torr", "auto", "ops"):
+            layout = layout_of(name, cache_kb, cfa_kb)
+            counter = miss_counter(CacheConfig(size_bytes=cache_kb * KB))
+            stream = FetchStream(layout.name, consumers=[counter])
+            streams[name] = (stream, counter)
+            pairs.append((layout, stream))
+
+        def finalize() -> dict:
+            cells: dict[str, CellMetrics] = {}
+            for name, (stream, counter) in streams.items():
+                n = stream.n_instructions
+                fetches = stream.n_fetches
+                ideal = n / fetches if fetches else 0.0
+                run_length = n / stream.n_taken if stream.n_taken else float("inf")
+                cells[name] = _cell(n, fetches, ideal, run_length, counter.misses)
+            return cells
+
+        return pairs, finalize
+
+    if kind == "tc_ops":
+        cache_kb, cfa_kb = arg
+        layout = layout_of("ops", cache_kb, cfa_kb)
+        counter = miss_counter(CacheConfig(size_bytes=cache_kb * KB))
+        stream = TraceCacheStream(layout.name, consumers=[counter])
+
+        def finalize() -> dict:
+            n = stream.n_instructions
+            return {
+                "ipc": _tc_bandwidth(n, stream.n_cycles_base, counter.misses),
+                "ideal": _tc_bandwidth(n, stream.n_cycles_base),
+            }
+
+        return [(layout, stream)], finalize
+
+    raise ValueError(f"unknown suite task {task!r}")
+
+
+def _run_group(workload: Workload, group, grid, cache_sizes):
+    """One fused pass over the trace for a group of tasks.
+
+    Returns ``(payloads, errors)`` keyed by task. A failure while
+    building one task's unit (layout construction) is isolated to that
+    task; a failure during the shared trace pass fails every task whose
+    unit made it into the pass (none of their streams can be trusted).
+    """
+    payloads: dict[_Task, dict] = {}
+    errors: dict[_Task, BaseException] = {}
+    memo: dict = {}
+    units = []
+    for task in group:
+        try:
+            pairs, finalize = _unit_for(workload, task, grid, cache_sizes, memo)
+        except Exception as exc:
+            errors[task] = exc
+            continue
+        units.append((task, pairs, finalize))
+    if units:
+        try:
+            run_fused(
+                workload.test_trace,
+                workload.program,
+                [pair for _, pairs, _ in units for pair in pairs],
+            )
+        except Exception as exc:
+            for task, _, _ in units:
+                errors[task] = exc
+            return payloads, errors
+    for task, _, finalize in units:
+        try:
+            payloads[task] = finalize()
+        except Exception as exc:
+            errors[task] = exc
+    return payloads, errors
+
+
+def _split_groups(tasks, n_groups: int):
+    """Contiguous, near-even split of the canonical task order."""
+    n = len(tasks)
+    n_groups = max(1, min(n_groups, n))
+    base, rem = divmod(n, n_groups)
+    out, start = [], 0
+    for g in range(n_groups):
+        size = base + (1 if g < rem else 0)
+        out.append(list(tasks[start : start + size]))
+        start += size
+    return out
 
 
 def _assemble(grid, tc_rows, results: dict[_Task, dict]) -> SuiteResults:
@@ -287,43 +502,61 @@ def _task_key(settings: WorkloadSettings, cache_sizes, task: _Task) -> tuple:
 _WORKER_CTX: tuple | None = None
 
 
-def _worker_run(task: _Task):
+def _worker_run_group(group):
     workload, grid, cache_sizes = _WORKER_CTX
-    return task, _task_payload(workload, task, grid, cache_sizes)
+    payloads, errors = _run_group(workload, group, grid, cache_sizes)
+    return payloads, list(errors.items())
 
 
 def _run_serial(workload, grid, cache_sizes, tasks, retries, on_done, runlog, prog) -> None:
-    """In-parent execution with bounded retry for transient failures."""
-    for task in tasks:
-        label = _task_label(task)
-        attempts = 0
-        while True:
-            attempts += 1
-            t0 = time.perf_counter()
-            try:
-                payload = _task_payload(workload, task, grid, cache_sizes)
-            except Exception as exc:
-                if attempts <= retries and _is_transient(exc):
-                    runlog.task_retry(label, exc, attempts)
-                    prog.fail(f"{label}: {exc!r} (attempt {attempts}, retrying)")
-                    time.sleep(_backoff(attempts))
-                    continue
-                runlog.task_failed(label, task[0], exc, attempts)
+    """In-parent fused execution with bounded retry for transient failures.
+
+    Tasks run in groups of at most ``_FUSE_LIMIT``, each group one pass
+    over the trace. Tasks that fail transiently are re-run together as a
+    follow-up group; a permanent failure raises after the group's
+    successful tasks have been delivered (and checkpointed).
+    """
+    attempts = {task: 0 for task in tasks}
+    queue = [list(tasks[i : i + _FUSE_LIMIT]) for i in range(0, len(tasks), _FUSE_LIMIT)]
+    while queue:
+        group = queue.pop(0)
+        for task in group:
+            attempts[task] += 1
+        t0 = time.perf_counter()
+        payloads, errors = _run_group(workload, group, grid, cache_sizes)
+        share = (time.perf_counter() - t0) / max(1, len(group))
+        for task in group:
+            if task in payloads:
+                on_done(task, payloads[task], share, attempts[task])
+        retry_group = []
+        for task, exc in errors.items():
+            label = _task_label(task)
+            if attempts[task] <= retries and _is_transient(exc):
+                runlog.task_retry(label, exc, attempts[task])
+                prog.fail(f"{label}: {exc!r} (attempt {attempts[task]}, retrying)")
+                retry_group.append(task)
+            else:
+                runlog.task_failed(label, task[0], exc, attempts[task])
                 prog.fail(f"{label}: {exc!r}")
                 raise SuiteTaskError(task, label, exc) from exc
-            on_done(task, payload, time.perf_counter() - t0, attempts)
-            break
+        if retry_group:
+            time.sleep(_backoff(max(attempts[task] for task in retry_group)))
+            queue.insert(0, retry_group)
 
 
 def _run_parallel(
     workload, grid, cache_sizes, tasks, n_workers, task_timeout, retries, on_done, runlog, prog
 ) -> list[_Task]:
-    """Fan tasks over a fork pool; returns tasks left undone by pool death.
+    """Fan fused task groups over a fork pool; returns tasks left undone
+    by pool death.
 
+    The canonical task order is split contiguously into at least
+    ``n_workers`` groups (and enough that no group exceeds
+    ``_FUSE_LIMIT``); each worker runs its group as one fused pass.
     A permanent task failure cancels everything pending and raises
     :class:`SuiteTaskError`; transient failures are resubmitted with
-    backoff. ``task_timeout`` is a stall bound: if *no* task completes
-    for that long, the pending work is cancelled and
+    backoff as single-task groups. ``task_timeout`` is a stall bound: if
+    *no* group completes for that long, the pending work is cancelled and
     :class:`SuiteTimeoutError` names the still-running tasks. If the pool
     itself breaks (a worker died hard), the unfinished tasks are returned
     for in-parent serial execution instead of failing the run.
@@ -334,14 +567,20 @@ def _run_parallel(
     ctx = multiprocessing.get_context("fork")
     pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx)
     try:
-        task_of = {pool.submit(_worker_run, task): task for task in tasks}
+        n_groups = max(n_workers, -(-len(tasks) // _FUSE_LIMIT))
+        group_of = {
+            pool.submit(_worker_run_group, group): group
+            for group in _split_groups(tasks, n_groups)
+        }
         attempts = {task: 1 for task in tasks}
         started = {task: time.perf_counter() for task in tasks}
-        pending = set(task_of)
+        pending = set(group_of)
         while pending:
             done, not_done = wait(pending, timeout=task_timeout, return_when=FIRST_COMPLETED)
             if not done:  # stalled: nothing finished within the budget
-                labels = sorted(_task_label(task_of[f]) for f in not_done)
+                labels = sorted(
+                    _task_label(task) for f in not_done for task in group_of[f]
+                )
                 for f in not_done:
                     f.cancel()
                 runlog.event("stall", tasks=labels, timeout=task_timeout)
@@ -349,21 +588,34 @@ def _run_parallel(
                 raise SuiteTimeoutError(labels, task_timeout)
             for future in done:
                 pending.discard(future)
-                task = task_of.pop(future)
-                label = _task_label(task)
+                group = group_of.pop(future)
                 try:
-                    _, payload = future.result()
+                    payloads, errors = future.result()
                 except Exception as exc:
                     if isinstance(exc, BrokenProcessPool):
                         raise  # pool is gone: degrade to serial below
+                    # the whole group failed in transit (e.g. the result
+                    # did not unpickle): treat every task as errored
+                    payloads, errors = {}, [(task, exc) for task in group]
+                for task in group:
+                    if task in payloads:
+                        completed.add(task)
+                        on_done(
+                            task,
+                            payloads[task],
+                            time.perf_counter() - started[task],
+                            attempts[task],
+                        )
+                for task, exc in errors:
+                    label = _task_label(task)
                     if attempts[task] <= retries and _is_transient(exc):
                         runlog.task_retry(label, exc, attempts[task])
                         prog.fail(f"{label}: {exc!r} (attempt {attempts[task]}, retrying)")
                         time.sleep(_backoff(attempts[task]))
                         attempts[task] += 1
                         started[task] = time.perf_counter()
-                        retry = pool.submit(_worker_run, task)
-                        task_of[retry] = task
+                        retry = pool.submit(_worker_run_group, [task])
+                        group_of[retry] = [task]
                         pending.add(retry)
                     else:
                         for f in pending:
@@ -371,9 +623,6 @@ def _run_parallel(
                         runlog.task_failed(label, task[0], exc, attempts[task])
                         prog.fail(f"{label}: {exc!r}")
                         raise SuiteTaskError(task, label, exc) from exc
-                else:
-                    completed.add(task)
-                    on_done(task, payload, time.perf_counter() - started[task], attempts[task])
         return []
     except BrokenProcessPool as exc:
         remaining = [t for t in tasks if t not in completed]

@@ -173,9 +173,14 @@ class KernelModel:
         """Per-routine walker tables: name -> (cat, hot, alt, base gid, fanout)."""
         return self._tables
 
-    def tracer(self) -> KernelTracer:
-        """A fresh tracer bound to this model."""
-        return KernelTracer(self)
+    def tracer(self, sink=None) -> KernelTracer:
+        """A fresh tracer bound to this model.
+
+        ``sink`` (a :class:`~repro.profiling.tracestore.TraceWriter`-like
+        object) switches the tracer to streaming mode: events are flushed
+        to the sink incrementally instead of accumulating in memory.
+        """
+        return KernelTracer(self, sink=sink)
 
     # -- conveniences ------------------------------------------------------
 

@@ -79,7 +79,11 @@ class KernelTracer:
     single process) and must be the only active tracer.
     """
 
-    def __init__(self, model) -> None:
+    #: In streaming mode, the buffer is flushed to the sink whenever it
+    #: reaches this many events with no instrumented call in flight.
+    FLUSH_EVENTS = 1_000_000
+
+    def __init__(self, model, sink=None) -> None:
         # model is a KernelModel; imported lazily to avoid an import cycle.
         self._model = model
         self._routines = model.routine_tables()
@@ -89,6 +93,10 @@ class KernelTracer:
         self._stack: list[list] = []
         self._runs: list[np.ndarray] = []
         self._invocations: dict[str, int] = {}
+        # streaming mode: events flow to the sink (TraceWriter protocol:
+        # append_events/end_run) in bounded pieces instead of accumulating
+        self._sink = sink
+        self._flushed = 0
 
     # -- activation --------------------------------------------------------
 
@@ -104,16 +112,30 @@ class KernelTracer:
             # unwound abnormally (exception through instrumented frames)
             self._stack.clear()
 
+    def _flush_to_sink(self) -> None:
+        if len(self._buf):
+            self._flushed += len(self._buf)
+            self._sink.append_events(np.frombuffer(self._buf, dtype=np.int32).copy())
+            self._buf = array("i")
+
     def end_run(self) -> None:
         """Close the current run; the next events start a new trace segment."""
         if self._stack:
             raise RuntimeError("end_run() inside an instrumented call")
+        if self._sink is not None:
+            self._flush_to_sink()
+            self._sink.end_run()
+            return
         if len(self._buf):
             self._runs.append(np.frombuffer(self._buf, dtype=np.int32).copy())
             self._buf = array("i")
 
     def take_trace(self) -> BlockTrace:
         """Finish tracing and return the collected (multi-run) trace."""
+        if self._sink is not None:
+            raise RuntimeError(
+                "streaming tracer keeps no in-memory trace; close the sink instead"
+            )
         self.end_run()
         trace = BlockTrace.concatenate([BlockTrace(run) for run in self._runs])
         self._runs = []
@@ -121,7 +143,7 @@ class KernelTracer:
 
     @property
     def n_events(self) -> int:
-        return sum(r.shape[0] for r in self._runs) + len(self._buf)
+        return sum(r.shape[0] for r in self._runs) + len(self._buf) + self._flushed
 
     # -- instrumentation callbacks (hot path) ------------------------------
 
@@ -219,6 +241,11 @@ class KernelTracer:
             pcur = phot[pcur]
             buf.append(pbase + pcur)
             parent[4] = pcur
+        elif self._sink is not None and len(buf) >= self.FLUSH_EVENTS:
+            # between top-level calls the run can be flushed mid-stream:
+            # memory stays bounded even when one run is hundreds of
+            # millions of events
+            self._flush_to_sink()
 
     def _advance_to_call(self, frame: list) -> None:
         cat, hot, _alt, base, cur, name, fanout, ctx = frame

@@ -178,6 +178,47 @@ class BTreeIndex:
         node.children = node.children[: mid + 1]
         return sep, right
 
+    # -- pickling ------------------------------------------------------------
+    # The tree is linked (children + the leaf chain), so default pickling
+    # recurses once per node and overflows the interpreter stack on large
+    # indexes. Serialize the node graph as a flat list with index links
+    # instead; depth stays constant regardless of index size.
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        nodes: list[_Node] = []
+        at: dict[int, int] = {}
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if id(node) in at:
+                continue
+            at[id(node)] = len(nodes)
+            nodes.append(node)
+            stack.extend(node.children)
+        state["_root"] = [
+            (
+                n.leaf,
+                n.keys,
+                [at[id(c)] for c in n.children],
+                n.values,
+                at[id(n.next)] if n.next is not None else -1,
+            )
+            for n in nodes
+        ]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        packed = state["_root"]
+        nodes = [_Node(leaf) for (leaf, _, _, _, _) in packed]
+        for node, (_, keys, children, values, nxt) in zip(nodes, packed):
+            node.keys = keys
+            node.values = values
+            node.children = [nodes[i] for i in children]
+            node.next = nodes[nxt] if nxt >= 0 else None
+        state["_root"] = nodes[0]
+        self.__dict__.update(state)
+
     # -- invariants (used by tests) -----------------------------------------
 
     def depth(self) -> int:

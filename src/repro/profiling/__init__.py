@@ -6,6 +6,13 @@ transitions (the weighted CFG of Section 5), reference-locality curves
 """
 
 from repro.profiling.trace import SEPARATOR, BlockTrace
+from repro.profiling.tracestore import (
+    TRACE_FORMAT_VERSION,
+    TraceFormatError,
+    TraceStore,
+    TraceWriter,
+    write_trace,
+)
 from repro.profiling.profiler import profile_trace
 from repro.profiling.locality import (
     cumulative_reference_curve,
@@ -19,6 +26,11 @@ from repro.profiling.determinism import BlockKindMix, kind_mix, transition_deter
 __all__ = [
     "SEPARATOR",
     "BlockTrace",
+    "TRACE_FORMAT_VERSION",
+    "TraceFormatError",
+    "TraceStore",
+    "TraceWriter",
+    "write_trace",
     "profile_trace",
     "cumulative_reference_curve",
     "blocks_for_coverage",

@@ -22,7 +22,7 @@ SEPARATOR = -1
 class BlockTrace:
     """Immutable sequence of executed basic-block ids (plus run separators)."""
 
-    __slots__ = ("events",)
+    __slots__ = ("events", "__weakref__")
 
     def __init__(self, events: np.ndarray | Sequence[int]) -> None:
         events = np.asarray(events, dtype=np.int32)
@@ -84,6 +84,27 @@ class BlockTrace:
         if ids.size > 1:
             np.cumsum(sizes[:-1], out=positions[1:])
         return positions
+
+    def iter_events(
+        self, chunk_events: int
+    ) -> Iterator[tuple[np.ndarray, int | None]]:
+        """Yield ``(window, next_event)`` in windows of ``chunk_events``.
+
+        ``next_event`` is the event just past the window (``None`` at end
+        of trace); the simulators use it for their chunk-boundary
+        sequentiality check. Stored traces
+        (:class:`~repro.profiling.tracestore.TraceStore`) expose the same
+        iterator, which is what lets the simulators stream either kind.
+        """
+        if chunk_events <= 0:
+            raise ValueError("chunk_events must be positive")
+        events = self.events
+        n = events.shape[0]
+        start = 0
+        while start < n:
+            end = min(start + chunk_events, n)
+            yield events[start:end], (int(events[end]) if end < n else None)
+            start = end
 
     def segments(self) -> Iterator[np.ndarray]:
         """Yield each separator-delimited run as an array of block ids."""

@@ -8,9 +8,22 @@ consecutive cache lines per access, up to the first taken branch, three
 branches, or 16 instructions.
 """
 
-from repro.simulators.icache import CacheConfig, count_misses, simulate_victim_cache
-from repro.simulators.fetch import FetchResult, simulate_fetch, MISS_PENALTY_CYCLES
-from repro.simulators.tracecache import TraceCacheConfig, simulate_trace_cache, TraceCacheResult
+from repro.simulators.icache import CacheConfig, count_misses, miss_counter, simulate_victim_cache
+from repro.simulators.fetch import (
+    FetchResult,
+    FetchStream,
+    MISS_PENALTY_CYCLES,
+    expand_chunk,
+    iter_chunk_contexts,
+    simulate_fetch,
+)
+from repro.simulators.fused import run_fused
+from repro.simulators.tracecache import (
+    TraceCacheConfig,
+    TraceCacheResult,
+    TraceCacheStream,
+    simulate_trace_cache,
+)
 from repro.simulators.metrics import (
     miss_rate_percent,
     fetch_bandwidth,
@@ -21,13 +34,19 @@ from repro.simulators.metrics import (
 __all__ = [
     "CacheConfig",
     "count_misses",
+    "miss_counter",
     "simulate_victim_cache",
     "FetchResult",
+    "FetchStream",
     "simulate_fetch",
     "MISS_PENALTY_CYCLES",
+    "expand_chunk",
+    "iter_chunk_contexts",
+    "run_fused",
     "TraceCacheConfig",
     "simulate_trace_cache",
     "TraceCacheResult",
+    "TraceCacheStream",
     "miss_rate_percent",
     "fetch_bandwidth",
     "ideal_fetch_bandwidth",

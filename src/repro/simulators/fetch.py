@@ -21,7 +21,7 @@ that walks all taken-branch-delimited segments in lockstep.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,7 +31,16 @@ from repro.cfg.layout import Layout
 from repro.cfg.program import Program
 from repro.profiling.trace import SEPARATOR, BlockTrace
 
-__all__ = ["FetchResult", "simulate_fetch", "MISS_PENALTY_CYCLES", "instruction_chunks"]
+__all__ = [
+    "ChunkContext",
+    "FetchResult",
+    "FetchStream",
+    "MISS_PENALTY_CYCLES",
+    "expand_chunk",
+    "instruction_chunks",
+    "iter_chunk_contexts",
+    "simulate_fetch",
+]
 
 #: Fixed i-cache miss penalty (paper Table 4).
 MISS_PENALTY_CYCLES = 5
@@ -74,90 +83,177 @@ class _Chunk:
     last: bool  # final chunk of the trace
 
 
+@dataclass
+class ChunkContext:
+    """Layout-independent expansion of one window of trace events.
+
+    Everything here depends only on the trace and the program — block
+    ids, sizes, instruction offsets, adjacency — so the fused driver
+    computes it once per window and shares it across every layout
+    (:func:`expand_chunk` adds the per-layout addresses).
+    """
+
+    ids: np.ndarray  # int64 block id per valid event
+    ev_size: np.ndarray  # int64 instructions per event
+    rep_idx: np.ndarray  # int64: event index of each instruction
+    offset_bytes: np.ndarray  # int64: byte offset within its block
+    last_idx: np.ndarray  # int64: instruction index of each event's last instr
+    branchy_ev: np.ndarray  # bool: event ends in a branch/call/return block
+    adjacent: np.ndarray  # bool (len-1): no separator between events i, i+1
+    next_id: int | None  # first block id after the window (None: sep/EOF)
+    total: int  # instructions in the window
+    last: bool  # final window of the trace
+
+
+def iter_chunk_contexts(
+    trace: BlockTrace,
+    program: Program,
+    chunk_events: int = _DEFAULT_CHUNK_EVENTS,
+) -> Iterator[ChunkContext]:
+    """Expand the trace into layout-independent chunk contexts.
+
+    ``trace`` may be an in-memory :class:`BlockTrace` or an on-disk
+    :class:`~repro.profiling.tracestore.TraceStore` — anything with the
+    ``iter_events(chunk_events)`` windowed iterator.
+    """
+    sizes = program.block_size.astype(np.int64)
+    kinds = program.block_kind
+    branchy = (kinds == BlockKind.BRANCH) | (kinds == BlockKind.CALL) | (kinds == BlockKind.RETURN)
+
+    for ev, next_event in trace.iter_events(chunk_events):
+        valid_idx = np.flatnonzero(ev != SEPARATOR)
+        if valid_idx.size == 0:
+            continue
+        ids = ev[valid_idx].astype(np.int64)
+        ev_size = sizes[ids]
+        ends = np.cumsum(ev_size)
+        total = int(ends[-1])
+        block_start = ends - ev_size
+        rep_idx = np.repeat(np.arange(ids.shape[0], dtype=np.int64), ev_size)
+        offset_bytes = np.arange(total, dtype=np.int64)
+        offset_bytes -= block_start[rep_idx]
+        offset_bytes *= INSTR_BYTES  # shared across layouts by the fused driver
+        yield ChunkContext(
+            ids=ids,
+            ev_size=ev_size,
+            rep_idx=rep_idx,
+            offset_bytes=offset_bytes,
+            last_idx=ends - 1,
+            branchy_ev=branchy[ids],
+            adjacent=(valid_idx[1:] - valid_idx[:-1]) == 1,
+            next_id=(
+                int(next_event)
+                if next_event is not None and next_event != SEPARATOR
+                else None
+            ),
+            total=total,
+            last=next_event is None,
+        )
+
+
+def expand_chunk(ctx: ChunkContext, layout: Layout) -> _Chunk:
+    """Per-layout instruction arrays for one chunk context.
+
+    Run separators force a taken branch on the preceding instruction (two
+    profiled runs never fall through into each other).
+    """
+    addresses = layout.address
+    ev_addr = addresses[ctx.ids]
+    ev_end = ev_addr + ctx.ev_size * INSTR_BYTES
+    # a transition is sequential when the next block starts exactly where
+    # this one ends, with no run separator in between
+    seq = np.zeros(ctx.ids.shape[0], dtype=bool)
+    if ctx.ids.shape[0] > 1:
+        seq[:-1] = (ev_addr[1:] == ev_end[:-1]) & ctx.adjacent
+    if ctx.next_id is not None:
+        seq[-1] = int(addresses[ctx.next_id]) == int(ev_end[-1])
+
+    addr = ev_addr[ctx.rep_idx]
+    addr += ctx.offset_bytes
+    is_branch = np.zeros(ctx.total, dtype=bool)
+    is_taken = np.zeros(ctx.total, dtype=bool)
+    # any non-sequential transition behaves as a taken branch — including
+    # a fall-through whose successor the layout moved away (the layout
+    # step would insert an unconditional jump there)
+    non_seq = ~seq
+    is_branch[ctx.last_idx] = ctx.branchy_ev | non_seq
+    is_taken[ctx.last_idx] = non_seq
+    return _Chunk(addr=addr, is_branch=is_branch, is_taken=is_taken, last=ctx.last)
+
+
 def instruction_chunks(
     trace: BlockTrace,
     program: Program,
     layout: Layout,
     chunk_events: int = _DEFAULT_CHUNK_EVENTS,
 ) -> Iterator[_Chunk]:
-    """Expand the block trace into per-instruction arrays, chunk by chunk.
-
-    Run separators force a taken branch on the preceding instruction (two
-    profiled runs never fall through into each other).
-    """
-    events = trace.events
-    n_events = events.shape[0]
-    sizes = program.block_size.astype(np.int64)
-    kinds = program.block_kind
-    branchy = (kinds == BlockKind.BRANCH) | (kinds == BlockKind.CALL) | (kinds == BlockKind.RETURN)
-    addresses = layout.address
-
-    start = 0
-    while start < n_events:
-        end = min(start + chunk_events, n_events)
-        ev = events[start:end]
-        valid_idx = np.flatnonzero(ev != SEPARATOR)
-        if valid_idx.size == 0:
-            start = end
-            continue
-        ids = ev[valid_idx].astype(np.int64)
-        ev_size = sizes[ids]
-        ev_addr = addresses[ids]
-        ev_end = ev_addr + ev_size * INSTR_BYTES
-        # a transition is sequential when the next block starts exactly where
-        # this one ends, with no run separator in between
-        seq = np.zeros(ids.shape[0], dtype=bool)
-        if ids.shape[0] > 1:
-            seq[:-1] = (ev_addr[1:] == ev_end[:-1]) & ((valid_idx[1:] - valid_idx[:-1]) == 1)
-        if end < n_events and int(events[end]) != SEPARATOR:
-            seq[-1] = int(addresses[int(events[end])]) == int(ev_end[-1])
-
-        total = int(ev_size.sum())
-        block_start = np.cumsum(ev_size) - ev_size
-        offsets = np.arange(total, dtype=np.int64) - np.repeat(block_start, ev_size)
-        addr = np.repeat(ev_addr, ev_size) + offsets * INSTR_BYTES
-        last_of_block = np.zeros(total, dtype=bool)
-        last_of_block[np.cumsum(ev_size) - 1] = True
-        is_branch = last_of_block & np.repeat(branchy[ids], ev_size)
-        # any non-sequential transition behaves as a taken branch — including
-        # a fall-through whose successor the layout moved away (the layout
-        # step would insert an unconditional jump there)
-        non_seq = last_of_block & np.repeat(~seq, ev_size)
-        yield _Chunk(addr=addr, is_branch=is_branch | non_seq, is_taken=non_seq, last=end >= n_events)
-        start = end
+    """Expand the block trace into per-instruction arrays, chunk by chunk."""
+    for ctx in iter_chunk_contexts(trace, program, chunk_events):
+        yield expand_chunk(ctx, layout)
 
 
 def _fetch_lengths(chunk: _Chunk, line_instrs: int) -> np.ndarray:
     """Vectorized SEQ.3 fetch length from every instruction position.
 
-    All distance computations are O(n) passes (reverse minimum-accumulate
-    for the next taken branch, an exclusive prefix count for the third
-    branch) — no per-position binary searches.
+    All distance computations are O(n) passes — a prefix count per branch
+    kind followed by a monotone (cache-friendly) gather into the branch
+    position list — carried out in int32 with in-place combining: this
+    function runs once per (layout, line size) per window and its memory
+    traffic dominates the fused suite, so every avoided temporary counts.
     """
     n = chunk.addr.shape[0]
-    idx = np.arange(n, dtype=np.int64)
+    if n == 0:
+        return np.empty(0, dtype=np.int32)
+    idx = np.arange(n, dtype=np.int32)
 
     # distance to the next taken branch (inclusive): positions past the
     # last taken branch run to the end of the chunk
-    cand = np.where(chunk.is_taken, idx, n - 1)
-    next_taken = np.minimum.accumulate(cand[::-1])[::-1]
-    until_taken = next_taken - idx + 1
+    taken_pos = np.flatnonzero(chunk.is_taken)
+    if taken_pos.size:
+        before_taken = np.cumsum(chunk.is_taken, dtype=np.int32)
+        before_taken -= chunk.is_taken  # exclusive prefix count, in place
+        np.minimum(before_taken, taken_pos.size - 1, out=before_taken)
+        until_taken = taken_pos.astype(np.int32).take(before_taken)
+        until_taken -= idx
+        until_taken += 1
+        tail = int(taken_pos[-1]) + 1  # past the last taken branch:
+        if tail < n:  # run to the chunk end
+            until_taken[tail:] = np.arange(n - tail, 0, -1, dtype=np.int32)
+    else:
+        until_taken = np.arange(n, 0, -1, dtype=np.int32)
 
-    # distance to the third branch (inclusive): the number of branches
-    # strictly before each position is an exclusive prefix sum
+    # distance to the third branch (inclusive): exclusive prefix count of
+    # branches, clip-gathered into the branch positions; positions past
+    # the (size - BRANCH_LIMIT)-th branch have no third branch (a
+    # contiguous tail, since the count is monotone)
     branch_pos = np.flatnonzero(chunk.is_branch)
-    until_third = np.full(n, n, dtype=np.int64)
-    if branch_pos.size:
-        before = np.cumsum(chunk.is_branch, dtype=np.int64) - chunk.is_branch
-        third = before + BRANCH_LIMIT - 1
-        has_third = third < branch_pos.size
-        until_third[has_third] = branch_pos[third[has_third]] - idx[has_third] + 1
+    if branch_pos.size >= BRANCH_LIMIT:
+        third = np.cumsum(chunk.is_branch, dtype=np.int32)
+        third -= chunk.is_branch
+        third += BRANCH_LIMIT - 1
+        np.minimum(third, branch_pos.size - 1, out=third)
+        until_third = branch_pos.astype(np.int32).take(third)
+        until_third -= idx
+        until_third += 1
+        cut = int(branch_pos[branch_pos.size - BRANCH_LIMIT]) + 1
+        if cut < n:
+            until_third[cut:] = n
+        np.minimum(until_taken, until_third, out=until_taken)
 
     # two consecutive cache lines from the fetch address
-    cap = 2 * line_instrs - (chunk.addr // INSTR_BYTES) % line_instrs
+    # addr // INSTR_BYTES as a shift (INSTR_BYTES is a power of two)
+    instr_pos = np.right_shift(chunk.addr, INSTR_BYTES.bit_length() - 1).astype(np.int32)
+    if line_instrs & (line_instrs - 1) == 0:
+        instr_pos &= line_instrs - 1
+    else:  # non-power-of-two line size: generic modulo
+        instr_pos %= line_instrs
+    np.subtract(2 * line_instrs, instr_pos, out=instr_pos)
+    cap = instr_pos
+    np.minimum(cap, FETCH_WIDTH, out=cap)
 
-    length = np.minimum(np.minimum(until_taken, until_third), np.minimum(cap, FETCH_WIDTH))
-    return np.maximum(length, 1)
+    np.minimum(until_taken, cap, out=until_taken)
+    np.maximum(until_taken, 1, out=until_taken)
+    return until_taken
 
 
 #: Lockstep rounds after which the few remaining long segments finish scalar.
@@ -220,6 +316,64 @@ def _orbit_starts(lengths: np.ndarray, is_taken: np.ndarray) -> np.ndarray:
     return np.flatnonzero(visited)
 
 
+class FetchStream:
+    """Incremental SEQ.3 fetch simulation fed one expanded chunk at a time.
+
+    The stream accumulates the cache-independent counters and routes each
+    chunk's line accesses to any number of attached i-cache miss counters
+    (``consumers``, objects with ``feed(lines)``), so one pass over the
+    trace evaluates every cache configuration at once. With
+    ``collect_lines=True`` the per-chunk line arrays are also kept, which
+    is what :func:`simulate_fetch` uses to build a full
+    :class:`FetchResult`.
+    """
+
+    def __init__(
+        self,
+        layout_name: str,
+        *,
+        line_bytes: int = 32,
+        consumers: Sequence | None = None,
+        collect_lines: bool = False,
+    ) -> None:
+        self.layout_name = layout_name
+        self.line_bytes = line_bytes
+        self.consumers = list(consumers) if consumers is not None else []
+        self.n_instructions = 0
+        self.n_fetches = 0
+        self.n_taken = 0
+        self.line_chunks: list[np.ndarray] | None = [] if collect_lines else None
+
+    def feed(self, chunk: _Chunk, lengths: np.ndarray) -> None:
+        """Consume one expanded chunk; ``lengths`` from :func:`_fetch_lengths`."""
+        n = chunk.addr.shape[0]
+        self.n_instructions += n
+        self.n_taken += int(chunk.is_taken.sum())
+        start_arr = _orbit_starts(lengths, chunk.is_taken)
+        self.n_fetches += start_arr.shape[0]
+        first_line = chunk.addr[start_arr]
+        if self.line_bytes & (self.line_bytes - 1) == 0:
+            first_line >>= self.line_bytes.bit_length() - 1
+        else:
+            first_line //= self.line_bytes
+        lines = np.empty(2 * start_arr.shape[0], dtype=np.int64)
+        lines[0::2] = first_line
+        lines[1::2] = first_line + 1
+        for consumer in self.consumers:
+            consumer.feed(lines)
+        if self.line_chunks is not None:
+            self.line_chunks.append(lines)
+
+    def result(self) -> FetchResult:
+        return FetchResult(
+            layout_name=self.layout_name,
+            n_instructions=self.n_instructions,
+            n_fetches=self.n_fetches,
+            n_taken=self.n_taken,
+            line_chunks=self.line_chunks if self.line_chunks is not None else [],
+        )
+
+
 def simulate_fetch(
     trace: BlockTrace,
     program: Program,
@@ -230,28 +384,8 @@ def simulate_fetch(
 ) -> FetchResult:
     """Run the SEQ.3 fetch unit over a trace under a layout."""
     line_instrs = line_bytes // INSTR_BYTES
-    n_instructions = 0
-    n_fetches = 0
-    n_taken = 0
-    line_chunks: list[np.ndarray] = []
-
-    for chunk in instruction_chunks(trace, program, layout, chunk_events):
-        n = chunk.addr.shape[0]
-        n_instructions += n
-        n_taken += int(chunk.is_taken.sum())
-        lengths = _fetch_lengths(chunk, line_instrs)
-        start_arr = _orbit_starts(lengths, chunk.is_taken)
-        n_fetches += start_arr.shape[0]
-        first_line = chunk.addr[start_arr] // line_bytes
-        lines = np.empty(2 * start_arr.shape[0], dtype=np.int64)
-        lines[0::2] = first_line
-        lines[1::2] = first_line + 1
-        line_chunks.append(lines)
-
-    return FetchResult(
-        layout_name=layout.name,
-        n_instructions=n_instructions,
-        n_fetches=n_fetches,
-        n_taken=n_taken,
-        line_chunks=line_chunks,
-    )
+    stream = FetchStream(layout.name, line_bytes=line_bytes, collect_lines=True)
+    for ctx in iter_chunk_contexts(trace, program, chunk_events):
+        chunk = expand_chunk(ctx, layout)
+        stream.feed(chunk, _fetch_lengths(chunk, line_instrs))
+    return stream.result()

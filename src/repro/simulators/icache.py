@@ -19,6 +19,12 @@ concatenated (peak memory stays one chunk). Three organizations:
   slot and changes no state), then the surviving accesses — typically a
   small fraction — run through the explicit swap loop.
 
+Each model is an incremental counter object (:func:`miss_counter`) with a
+``feed(lines)`` method, so the fused multi-configuration driver can push
+one chunk of lines through many configurations in a single pass over the
+trace. :func:`count_misses` is the one-shot wrapper over the same
+counters — chunked and whole-stream counts are identical by construction.
+
 :func:`simulate_victim_cache` keeps the original one-shot scalar loop as
 the reference implementation; :func:`count_misses` uses the batched path.
 """
@@ -30,7 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CacheConfig", "count_misses", "simulate_victim_cache"]
+__all__ = ["CacheConfig", "count_misses", "miss_counter", "simulate_victim_cache"]
 
 
 @dataclass(frozen=True)
@@ -63,21 +69,41 @@ def _as_chunks(lines) -> list[np.ndarray]:
     return [c for c in chunks if c.size]
 
 
+def miss_counter(config: CacheConfig) -> "_MissCounter":
+    """A stateful cold-start miss counter for ``config``.
+
+    Feed it line chunks in stream order; ``.misses`` is the running count.
+    Feeding the stream in any chunking yields the same count as one call.
+    """
+    if config.victim_lines:
+        return _VictimCounter(config)
+    if config.associativity == 1:
+        return _DirectMappedCounter(config.n_sets)
+    return _TwoWayLRUCounter(config.n_sets)
+
+
 def count_misses(lines: np.ndarray | Sequence[np.ndarray], config: CacheConfig) -> int:
     """Cold-start miss count of the line stream under ``config``."""
-    chunks = _as_chunks(lines)
-    if not chunks:
-        return 0
-    if config.victim_lines:
-        return _victim_misses(chunks, config)
-    if config.associativity == 1:
-        return _direct_mapped(chunks, config.n_sets)
-    return _two_way_lru(chunks, config.n_sets)
+    counter = miss_counter(config)
+    for chunk in _as_chunks(lines):
+        counter.feed(chunk)
+    return counter.misses
 
 
 def _group_sorted(lines: np.ndarray, n_sets: int):
-    """Sort a chunk stably by set; return (sets, lines, group-start mask)."""
-    sets = lines % n_sets
+    """Sort a chunk stably by set; return (sets, lines, group-start mask).
+
+    The set index is computed with a bit mask when ``n_sets`` is a power
+    of two and narrowed to uint16 when it fits: NumPy's stable sort is a
+    radix sort for 16-bit keys, which turns the dominant cost of every
+    cache model from O(n log n) comparisons into O(n) passes.
+    """
+    if n_sets & (n_sets - 1) == 0:
+        sets = lines & (n_sets - 1)
+    else:
+        sets = lines % n_sets
+    if n_sets <= 1 << 16:
+        sets = sets.astype(np.uint16)
     order = np.argsort(sets, kind="stable")
     sorted_sets = sets[order]
     sorted_lines = lines[order]
@@ -87,30 +113,55 @@ def _group_sorted(lines: np.ndarray, n_sets: int):
     return order, sorted_sets, sorted_lines, first
 
 
-def _direct_mapped(chunks: list[np.ndarray], n_sets: int) -> int:
-    tags = np.full(n_sets, -1, dtype=np.int64)
-    misses = 0
-    for lines in chunks:
-        _, sorted_sets, sorted_lines, first = _group_sorted(lines, n_sets)
+class _MissCounter:
+    """Base: a cache model carrying state across fed chunks."""
+
+    __slots__ = ("misses",)
+
+    def __init__(self) -> None:
+        self.misses = 0
+
+    def feed(self, lines: np.ndarray) -> None:
+        if lines.size:
+            self._feed(lines)
+
+    def _feed(self, lines: np.ndarray) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class _DirectMappedCounter(_MissCounter):
+    __slots__ = ("_tags",)
+
+    def __init__(self, n_sets: int) -> None:
+        super().__init__()
+        self._tags = np.full(n_sets, -1, dtype=np.int64)
+
+    def _feed(self, lines: np.ndarray) -> None:
+        tags = self._tags
+        _, sorted_sets, sorted_lines, first = _group_sorted(lines, tags.shape[0])
         miss = np.empty(lines.shape[0], dtype=bool)
         miss[1:] = first[1:] | (sorted_lines[1:] != sorted_lines[:-1])
         first_idx = np.flatnonzero(first)
         miss[first_idx] = sorted_lines[first_idx] != tags[sorted_sets[first_idx]]
-        misses += int(miss.sum())
+        self.misses += int(miss.sum())
         last_idx = np.concatenate((first_idx[1:] - 1, [lines.shape[0] - 1]))
         tags[sorted_sets[last_idx]] = sorted_lines[last_idx]
-    return misses
 
 
-def _two_way_lru(chunks: list[np.ndarray], n_sets: int) -> int:
+class _TwoWayLRUCounter(_MissCounter):
     # carried per-set state: the last two entries of the set's run-compressed
     # access stream (w0 most recent); distinct negative sentinels keep the
     # cold-start "first two distinct accesses miss" behaviour
-    w0 = np.full(n_sets, -1, dtype=np.int64)
-    w1 = np.full(n_sets, -2, dtype=np.int64)
-    misses = 0
-    for lines in chunks:
-        _, sorted_sets, sorted_lines, first = _group_sorted(lines, n_sets)
+    __slots__ = ("_w0", "_w1")
+
+    def __init__(self, n_sets: int) -> None:
+        super().__init__()
+        self._w0 = np.full(n_sets, -1, dtype=np.int64)
+        self._w1 = np.full(n_sets, -2, dtype=np.int64)
+
+    def _feed(self, lines: np.ndarray) -> None:
+        w0, w1 = self._w0, self._w1
+        _, sorted_sets, sorted_lines, first = _group_sorted(lines, w0.shape[0])
         # compress consecutive duplicates within each set's stream: those are
         # guaranteed hits (the line is MRU); only distinct transitions can
         # miss. At the chunk boundary the previous compressed entry is w0.
@@ -122,7 +173,7 @@ def _two_way_lru(chunks: list[np.ndarray], n_sets: int) -> int:
         c_lines = sorted_lines[keep]
         n = c_lines.shape[0]
         if n == 0:
-            continue
+            return
         # entry j hits iff it equals entry j-2 of the same set's compressed
         # stream (entry j-1 differs by construction, so {j-1, j-2} is the
         # set state); the carried (w0, w1) stand in for entries -1 and -2
@@ -139,7 +190,7 @@ def _two_way_lru(chunks: list[np.ndarray], n_sets: int) -> int:
         second = second[second < n]
         second = second[~g_first[second]]
         miss[second] = c_lines[second] != w0[c_sets[second]]
-        misses += int(miss.sum())
+        self.misses += int(miss.sum())
         # roll the carried state forward to each set's last two entries
         g_last = np.concatenate((g_start[1:] - 1, [n - 1]))
         g_sets = c_sets[g_start]
@@ -147,23 +198,31 @@ def _two_way_lru(chunks: list[np.ndarray], n_sets: int) -> int:
         w1[g_sets[single]] = w0[g_sets[single]]
         w1[g_sets[~single]] = c_lines[g_last[~single] - 1]
         w0[g_sets] = c_lines[g_last]
-    return misses
 
 
-def _victim_misses(chunks: list[np.ndarray], config: CacheConfig) -> int:
+class _VictimCounter(_MissCounter):
     """Batched victim-cache simulation over chunked streams.
 
     Vectorized per-set run compression removes the accesses that repeat the
     immediately preceding access to the same set — always primary hits with
     no state change — before the stateful swap loop.
     """
-    n_sets = config.n_sets
-    last = np.full(n_sets, -1, dtype=np.int64)
-    primary = np.full(n_sets, -1, dtype=np.int64)
-    victim: dict[int, None] = {}
-    capacity = config.victim_lines
-    misses = 0
-    for lines in chunks:
+
+    __slots__ = ("_last", "_primary", "_victim", "_capacity")
+
+    def __init__(self, config: CacheConfig) -> None:
+        super().__init__()
+        n_sets = config.n_sets
+        self._last = np.full(n_sets, -1, dtype=np.int64)
+        self._primary = np.full(n_sets, -1, dtype=np.int64)
+        self._victim: dict[int, None] = {}
+        self._capacity = config.victim_lines
+
+    def _feed(self, lines: np.ndarray) -> None:
+        last, primary, victim = self._last, self._primary, self._victim
+        n_sets = last.shape[0]
+        capacity = self._capacity
+        misses = 0
         order, sorted_sets, sorted_lines, first = _group_sorted(lines, n_sets)
         keep_sorted = np.empty(lines.shape[0], dtype=bool)
         keep_sorted[1:] = first[1:] | (sorted_lines[1:] != sorted_lines[:-1])
@@ -196,7 +255,7 @@ def _victim_misses(chunks: list[np.ndarray], config: CacheConfig) -> int:
                 while len(victim) > capacity:
                     del victim[next(iter(victim))]
             primary[s] = line
-    return misses
+        self.misses += misses
 
 
 def simulate_victim_cache(lines: np.ndarray, config: CacheConfig) -> int:

@@ -13,10 +13,12 @@ kinds (one binary, two access-path variants — see DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.kernel.model import ColdCodeConfig, KernelModel
 from repro.minidb.engine import Database
 from repro.profiling.trace import BlockTrace
+from repro.profiling.tracestore import TraceStore, TraceWriter
 from repro.tpcd.dbgen import generate_table
 from repro.tpcd.queries import run_query
 from repro.tpcd.schema import TPCD_TABLES
@@ -60,15 +62,37 @@ def capture_trace(
     model: KernelModel,
     queries: tuple[int, ...],
     index_kinds: tuple[str, ...] = ("btree",),
-) -> BlockTrace:
-    """Run queries under tracing; one trace run per (index kind, query)."""
-    tracer = model.tracer()
-    with tracer:
-        for kind in index_kinds:
-            for qid in queries:
-                run_query(db, qid, kind)
-                tracer.end_run()
-    return tracer.take_trace()
+    *,
+    path: Path | str | None = None,
+) -> BlockTrace | TraceStore:
+    """Run queries under tracing; one trace run per (index kind, query).
+
+    With ``path`` the trace streams to a chunked on-disk store as it is
+    generated — peak memory stays one tracer flush buffer, independent of
+    trace length — and the returned :class:`TraceStore` reads it back
+    window by window. Without it, the trace accumulates in memory as a
+    plain :class:`BlockTrace`. Both carry the bit-identical event stream.
+    """
+    if path is None:
+        tracer = model.tracer()
+        with tracer:
+            for kind in index_kinds:
+                for qid in queries:
+                    run_query(db, qid, kind)
+                    tracer.end_run()
+        return tracer.take_trace()
+    writer = TraceWriter(path)
+    try:
+        tracer = model.tracer(sink=writer)
+        with tracer:
+            for kind in index_kinds:
+                for qid in queries:
+                    run_query(db, qid, kind)
+                    tracer.end_run()
+        return writer.close()
+    except BaseException:
+        writer.abort()
+        raise
 
 
 @dataclass(frozen=True)
@@ -80,7 +104,26 @@ class WorkloadSettings:
     kernel_seed: int = 2029
 
     def build(self) -> "Workload":
-        workload = Workload.build(self.scale, seed=self.seed, kernel_seed=self.kernel_seed)
+        """Build the workload; traces stream to the artifact cache when on.
+
+        With caching enabled the traces are captured straight into the
+        chunked on-disk format (cache kind ``trace``, keyed by these
+        settings), so generation memory is O(flush buffer) and every
+        later simulation streams the stored file. With caching disabled
+        the traces stay in memory, as before.
+        """
+        from repro.cache import cache_enabled, default_cache
+
+        trace_paths = None
+        if cache_enabled():
+            cache = default_cache()
+            trace_paths = (
+                cache.file_path("trace", (self, "training"), suffix=".trace"),
+                cache.file_path("trace", (self, "test"), suffix=".trace"),
+            )
+        workload = Workload.build(
+            self.scale, seed=self.seed, kernel_seed=self.kernel_seed, trace_paths=trace_paths
+        )
         workload.settings = self
         return workload
 
@@ -97,8 +140,8 @@ class Workload:
 
     db: Database
     model: KernelModel
-    training_trace: BlockTrace
-    test_trace: BlockTrace
+    training_trace: BlockTrace | TraceStore
+    test_trace: BlockTrace | TraceStore
     settings: WorkloadSettings | None = None
 
     @classmethod
@@ -113,12 +156,19 @@ class Workload:
         buffer_pages: int = 256,
         training_queries: tuple[int, ...] = TRAINING_QUERIES,
         test_queries: tuple[int, ...] = TEST_QUERIES,
+        trace_paths: tuple[Path | str, Path | str] | None = None,
     ) -> "Workload":
-        """Build everything the experiments need (minutes at scale 0.01)."""
+        """Build everything the experiments need (minutes at scale 0.01).
+
+        ``trace_paths`` names (training, test) files to stream the traces
+        into as they are captured; the workload then holds
+        :class:`TraceStore` handles instead of in-memory arrays.
+        """
         db = build_database(scale, seed=seed, buffer_pages=buffer_pages)
         model = db.kernel_model(seed=kernel_seed, richness=richness, cold=cold)
-        training = capture_trace(db, model, training_queries, ("btree",))
-        test = capture_trace(db, model, test_queries, ("btree", "hash"))
+        training_path, test_path = trace_paths if trace_paths else (None, None)
+        training = capture_trace(db, model, training_queries, ("btree",), path=training_path)
+        test = capture_trace(db, model, test_queries, ("btree", "hash"), path=test_path)
         return cls(db=db, model=model, training_trace=training, test_trace=test)
 
     @property

@@ -3,6 +3,10 @@
 Each test points ``REPRO_CACHE_DIR`` at its own directory so checkpoint
 state never leaks between tests (the default cache re-reads the env on
 every access); workload and profile stay warm in the in-memory layers.
+
+Failures are injected at the ``_unit_for`` seam — the engine builds each
+task's fused streams through it, so a raising unit stands in for any
+per-task failure while the rest of the group proceeds.
 """
 
 import dataclasses
@@ -27,7 +31,7 @@ SETTINGS = WorkloadSettings(scale=0.0005)
 GRID = PRIMARY_ROWS[:2]
 FAIL_TASK = ("row", GRID[1])
 
-REAL_PAYLOAD = suite_mod._task_payload
+REAL_UNIT = suite_mod._unit_for
 
 
 @pytest.fixture(scope="module")
@@ -59,29 +63,31 @@ def _checkpoint_files():
 
 
 def test_failing_task_names_task_and_preserves_checkpoints(workload, monkeypatch):
-    def boom(wl, task, grid, cache_sizes):
+    def boom(wl, task, grid, cache_sizes, layout_memo=None):
         if task == FAIL_TASK:
             raise ValueError("injected deterministic failure")
-        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+        return REAL_UNIT(wl, task, grid, cache_sizes, layout_memo)
 
-    monkeypatch.setattr(suite_mod, "_task_payload", boom)
+    monkeypatch.setattr(suite_mod, "_unit_for", boom)
     with pytest.raises(SuiteTaskError) as excinfo:
         compute_suite(workload, GRID, jobs=1)
     assert suite_mod._task_label(FAIL_TASK) in str(excinfo.value)
     assert excinfo.value.task == FAIL_TASK
-    # everything completed before the failure survived the crash
-    assert len(_checkpoint_files()) == 4  # base x2, tc, first row
+    # the failed task is isolated to its unit: every other task of the
+    # fused group completed and survived the crash
+    n_tasks = len(suite_mod._suite_tasks(GRID, GRID))
+    assert len(_checkpoint_files()) == n_tasks - 1
 
 
 def test_resume_recomputes_only_missing_and_is_bit_identical(
     workload, tmp_path, monkeypatch
 ):
-    def boom(wl, task, grid, cache_sizes):
+    def boom(wl, task, grid, cache_sizes, layout_memo=None):
         if task == FAIL_TASK:
             raise ValueError("injected deterministic failure")
-        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+        return REAL_UNIT(wl, task, grid, cache_sizes, layout_memo)
 
-    monkeypatch.setattr(suite_mod, "_task_payload", boom)
+    monkeypatch.setattr(suite_mod, "_unit_for", boom)
     with pytest.raises(SuiteTaskError):
         compute_suite(workload, GRID, jobs=1)
     checkpointed = len(_checkpoint_files())
@@ -89,11 +95,11 @@ def test_resume_recomputes_only_missing_and_is_bit_identical(
 
     calls = []
 
-    def counting(wl, task, grid, cache_sizes):
+    def counting(wl, task, grid, cache_sizes, layout_memo=None):
         calls.append(task)
-        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+        return REAL_UNIT(wl, task, grid, cache_sizes, layout_memo)
 
-    monkeypatch.setattr(suite_mod, "_task_payload", counting)
+    monkeypatch.setattr(suite_mod, "_unit_for", counting)
     manifest = tmp_path / "resume.json"
     resumed = compute_suite(workload, GRID, jobs=1, manifest=manifest)
     resume_calls = list(calls)
@@ -114,18 +120,18 @@ def test_resume_recomputes_only_missing_and_is_bit_identical(
 
 
 def test_parallel_failure_cancels_pending_and_resume_completes(workload, monkeypatch):
-    def boom(wl, task, grid, cache_sizes):
+    def boom(wl, task, grid, cache_sizes, layout_memo=None):
         if task == FAIL_TASK:
             raise ValueError("injected parallel failure")
-        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+        return REAL_UNIT(wl, task, grid, cache_sizes, layout_memo)
 
-    monkeypatch.setattr(suite_mod, "_task_payload", boom)
+    monkeypatch.setattr(suite_mod, "_unit_for", boom)
     with pytest.raises(SuiteTaskError) as excinfo:
         compute_suite(workload, GRID, jobs=2)
     assert suite_mod._task_label(FAIL_TASK) in str(excinfo.value)
     checkpointed = {p.name for p in _checkpoint_files()}
 
-    monkeypatch.setattr(suite_mod, "_task_payload", REAL_PAYLOAD)
+    monkeypatch.setattr(suite_mod, "_unit_for", REAL_UNIT)
     resumed = compute_suite(workload, GRID, jobs=2)
     fresh = compute_suite(workload, GRID, jobs=1, resume=False)
     assert _flatten(resumed) == _flatten(fresh)
@@ -137,13 +143,13 @@ def test_parallel_failure_cancels_pending_and_resume_completes(workload, monkeyp
 def test_transient_failure_retries_then_succeeds(workload, tmp_path, monkeypatch, jobs):
     marker = tmp_path / "failed-once"  # cross-process: workers are forks
 
-    def flaky(wl, task, grid, cache_sizes):
+    def flaky(wl, task, grid, cache_sizes, layout_memo=None):
         if task == FAIL_TASK and not marker.exists():
             marker.write_text("x")
             raise OSError("injected transient failure")
-        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+        return REAL_UNIT(wl, task, grid, cache_sizes, layout_memo)
 
-    monkeypatch.setattr(suite_mod, "_task_payload", flaky)
+    monkeypatch.setattr(suite_mod, "_unit_for", flaky)
     manifest = tmp_path / "retry.json"
     result = compute_suite(workload, GRID, jobs=jobs, manifest=manifest)
 
@@ -160,13 +166,13 @@ def test_transient_failure_retries_then_succeeds(workload, tmp_path, monkeypatch
 def test_deterministic_failure_is_not_retried(workload, tmp_path, monkeypatch):
     attempts = []
 
-    def boom(wl, task, grid, cache_sizes):
+    def boom(wl, task, grid, cache_sizes, layout_memo=None):
         if task == FAIL_TASK:
             attempts.append(task)
             raise ValueError("deterministic: retrying would be futile")
-        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+        return REAL_UNIT(wl, task, grid, cache_sizes, layout_memo)
 
-    monkeypatch.setattr(suite_mod, "_task_payload", boom)
+    monkeypatch.setattr(suite_mod, "_unit_for", boom)
     manifest = tmp_path / "fail.json"
     with pytest.raises(SuiteTaskError):
         compute_suite(workload, GRID, jobs=1, manifest=manifest)
@@ -180,12 +186,12 @@ def test_deterministic_failure_is_not_retried(workload, tmp_path, monkeypatch):
 def test_hanging_parallel_task_raises_timeout_naming_it(workload, tmp_path, monkeypatch):
     hang_task = ("tc", "orig")
 
-    def hanging(wl, task, grid, cache_sizes):
+    def hanging(wl, task, grid, cache_sizes, layout_memo=None):
         if task == hang_task:
             time.sleep(8)  # bounded so the orphaned worker exits by session end
-        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+        return REAL_UNIT(wl, task, grid, cache_sizes, layout_memo)
 
-    monkeypatch.setattr(suite_mod, "_task_payload", hanging)
+    monkeypatch.setattr(suite_mod, "_unit_for", hanging)
     manifest = tmp_path / "stall.json"
     with pytest.raises(SuiteTimeoutError) as excinfo:
         compute_suite(workload, GRID, jobs=2, task_timeout=2.5, manifest=manifest)
@@ -199,16 +205,16 @@ def test_dead_worker_pool_degrades_to_serial(workload, tmp_path, monkeypatch):
     parent = os.getpid()
     kill_task = ("row", GRID[0])
 
-    def killer(wl, task, grid, cache_sizes):
+    def killer(wl, task, grid, cache_sizes, layout_memo=None):
         if task == kill_task and os.getpid() != parent:
             os._exit(3)  # hard worker death: no exception crosses the pipe
-        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+        return REAL_UNIT(wl, task, grid, cache_sizes, layout_memo)
 
-    monkeypatch.setattr(suite_mod, "_task_payload", killer)
+    monkeypatch.setattr(suite_mod, "_unit_for", killer)
     manifest = tmp_path / "pool.json"
     result = compute_suite(workload, GRID, jobs=2, manifest=manifest)
 
-    monkeypatch.setattr(suite_mod, "_task_payload", REAL_PAYLOAD)
+    monkeypatch.setattr(suite_mod, "_unit_for", REAL_UNIT)
     fresh = compute_suite(workload, GRID, jobs=1, resume=False)
     assert _flatten(result) == _flatten(fresh)
     data = json.loads(manifest.read_text())
@@ -220,11 +226,11 @@ def test_no_resume_recomputes_everything(workload, monkeypatch):
     compute_suite(workload, GRID, jobs=1)  # populate checkpoints
     calls = []
 
-    def counting(wl, task, grid, cache_sizes):
+    def counting(wl, task, grid, cache_sizes, layout_memo=None):
         calls.append(task)
-        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+        return REAL_UNIT(wl, task, grid, cache_sizes, layout_memo)
 
-    monkeypatch.setattr(suite_mod, "_task_payload", counting)
+    monkeypatch.setattr(suite_mod, "_unit_for", counting)
     compute_suite(workload, GRID, jobs=1, resume=False)
     assert len(calls) == len(suite_mod._suite_tasks(GRID, GRID))
 
@@ -244,11 +250,11 @@ def test_quick_run_checkpoints_seed_the_larger_grid(workload, monkeypatch):
     compute_suite(workload, quick, jobs=1)
     calls = []
 
-    def counting(wl, task, grid, cache_sizes):
+    def counting(wl, task, grid, cache_sizes, layout_memo=None):
         calls.append(task)
-        return REAL_PAYLOAD(wl, task, grid, cache_sizes)
+        return REAL_UNIT(wl, task, grid, cache_sizes, layout_memo)
 
-    monkeypatch.setattr(suite_mod, "_task_payload", counting)
+    monkeypatch.setattr(suite_mod, "_unit_for", counting)
     compute_suite(workload, GRID, jobs=1)
     # row/tc_ops checkpoints are grid-independent: the quick run's rows
     # are reused, only the new row and the per-cache-size bases recompute

@@ -1,0 +1,63 @@
+"""Fused suite engine vs the per-simulation reference path.
+
+`_run_group` must produce, for every task on every layout x geometry
+cell, exactly the payload `_task_payload` computes with one simulation
+per task — float-for-float, since checkpoints from either path must be
+interchangeable.
+"""
+
+import pytest
+
+from repro.experiments import suite as suite_mod
+from repro.experiments.config import PRIMARY_ROWS
+from repro.experiments.harness import get_workload
+from repro.tpcd.workload import WorkloadSettings
+
+SETTINGS = WorkloadSettings(scale=0.0005)
+GRID = PRIMARY_ROWS[:2]
+CACHE_SIZES = sorted({c for c, _ in GRID})
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload(SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def fused_payloads(workload):
+    tasks = suite_mod._suite_tasks(GRID, GRID)
+    payloads, errors = suite_mod._run_group(workload, tasks, GRID, CACHE_SIZES)
+    assert not errors
+    return payloads
+
+
+@pytest.mark.parametrize(
+    "task", suite_mod._suite_tasks(GRID, GRID), ids=suite_mod._task_label
+)
+def test_fused_payload_matches_reference(workload, fused_payloads, task):
+    reference = suite_mod._task_payload(workload, task, GRID, CACHE_SIZES)
+    assert fused_payloads[task] == reference
+
+
+def test_unit_construction_failure_is_isolated(workload, monkeypatch):
+    real = suite_mod._unit_for
+    bad_task = ("row", GRID[1])
+
+    def boom(wl, task, grid, cache_sizes, layout_memo=None):
+        if task == bad_task:
+            raise ValueError("injected unit failure")
+        return real(wl, task, grid, cache_sizes, layout_memo)
+
+    monkeypatch.setattr(suite_mod, "_unit_for", boom)
+    tasks = suite_mod._suite_tasks(GRID, GRID)
+    payloads, errors = suite_mod._run_group(workload, tasks, GRID, CACHE_SIZES)
+    assert set(errors) == {bad_task}
+    assert set(payloads) == set(tasks) - {bad_task}
+
+
+def test_split_groups_partitions_in_order():
+    tasks = list(range(7))
+    groups = suite_mod._split_groups(tasks, 3)
+    assert [t for g in groups for t in g] == tasks
+    assert max(len(g) for g in groups) - min(len(g) for g in groups) <= 1
+    assert suite_mod._split_groups(tasks, 100) == [[t] for t in tasks]

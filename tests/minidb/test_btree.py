@@ -108,3 +108,26 @@ def test_range_scan_matches_filter(keys, lo, hi):
     got = sorted(t[1] for t in idx.range_scan(lo, hi))
     expect = sorted(p for p, k in enumerate(keys) if lo <= k <= hi)
     assert got == expect
+
+
+def test_pickle_round_trip_is_iterative():
+    # the leaf chain is a linked list as long as the index; default
+    # (recursive) pickling would overflow the stack on a large index
+    import pickle
+    import sys
+
+    idx = BTreeIndex("p", Registry(), order=4)
+    n = 20_000
+    for k in range(n):
+        idx.insert(k, (k // 64, k % 64))
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(200)  # far below the ~7k leaves in the chain
+    try:
+        clone = pickle.loads(pickle.dumps(idx, protocol=pickle.HIGHEST_PROTOCOL))
+    finally:
+        sys.setrecursionlimit(limit)
+    clone.check_invariants()
+    assert clone.n_entries == idx.n_entries
+    assert clone.depth() == idx.depth()
+    assert clone.search(12_345) == idx.search(12_345)
+    assert list(clone.range_scan(17, 42)) == list(idx.range_scan(17, 42))

@@ -1,0 +1,186 @@
+"""On-disk trace format: round-trip identity, corruption detection.
+
+The store must be a bit-faithful twin of the in-memory event stream —
+same events, same windows, same separator placement — and every way a
+file can be damaged (truncation, flipped bytes, foreign/vintage headers)
+must surface as a clean :class:`TraceFormatError`, never a crash or a
+silently wrong trace.
+"""
+
+import pickle
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profiling import (
+    TRACE_FORMAT_VERSION,
+    BlockTrace,
+    TraceFormatError,
+    TraceStore,
+    TraceWriter,
+    write_trace,
+)
+from repro.profiling.trace import SEPARATOR
+from repro.profiling.tracestore import _HEADER, _MAGIC
+
+
+def _events(draw_ids, n):
+    return np.asarray(draw_ids, dtype=np.int32)[:n]
+
+
+event_arrays = st.lists(
+    st.one_of(st.integers(0, 5000), st.just(SEPARATOR)), min_size=0, max_size=400
+).map(lambda xs: np.asarray(xs, dtype=np.int32))
+
+
+@given(event_arrays, st.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_round_trip_identity(tmp_path_factory, events, chunk_events):
+    path = tmp_path_factory.mktemp("trace") / "t.trace"
+    store = write_trace(BlockTrace(events), path, chunk_events)
+    np.testing.assert_array_equal(store.materialize().events, events)
+    assert len(store) == events.shape[0]
+    assert store.n_events == int(np.count_nonzero(events != SEPARATOR))
+    store.verify(deep=True)
+
+
+@given(event_arrays, st.integers(1, 64), st.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_windowed_reads_match_blocktrace(tmp_path_factory, events, stored, window):
+    path = tmp_path_factory.mktemp("trace") / "t.trace"
+    store = write_trace(BlockTrace(events), path, stored)
+    got = list(store.iter_events(window))
+    want = list(BlockTrace(events).iter_events(window))
+    assert len(got) == len(want)
+    for (g_win, g_next), (w_win, w_next) in zip(got, want):
+        np.testing.assert_array_equal(g_win, w_win)
+        assert g_next == w_next
+
+
+def test_writer_run_protocol_matches_concatenate(tmp_path):
+    runs = [
+        np.asarray(r, dtype=np.int32)
+        for r in ([1, 2, 3], [], [4], [5, 6], [], [], [7])
+    ]
+    with TraceWriter(tmp_path / "runs.trace", chunk_events=4) as writer:
+        for run in runs:
+            writer.append_events(run)
+            writer.end_run()
+    store = TraceStore(tmp_path / "runs.trace")
+    expected = BlockTrace.concatenate([BlockTrace(r) for r in runs if r.size])
+    np.testing.assert_array_equal(store.materialize().events, expected.events)
+
+
+def test_mid_run_appends_do_not_split_the_run(tmp_path):
+    writer = TraceWriter(tmp_path / "t.trace", chunk_events=3)
+    writer.append_events(np.asarray([1, 2], dtype=np.int32))
+    writer.append_events(np.asarray([3, 4], dtype=np.int32))  # same run
+    writer.end_run()
+    writer.append_events(np.asarray([5], dtype=np.int32))
+    store = writer.close()
+    np.testing.assert_array_equal(
+        store.materialize().events,
+        np.asarray([1, 2, 3, 4, SEPARATOR, 5], dtype=np.int32),
+    )
+
+
+def test_empty_trace(tmp_path):
+    store = write_trace(BlockTrace(np.empty(0, dtype=np.int32)), tmp_path / "e.trace")
+    assert len(store) == 0
+    assert list(store.iter_events(16)) == []
+    assert store.materialize().events.size == 0
+
+
+def test_delta_overflow_falls_back_to_raw(tmp_path):
+    # a separator followed by a huge block id jumps by 2**31: too wide
+    # for an int32 delta, so the chunk must store raw
+    hi = np.iinfo(np.int32).max
+    events = np.asarray([0, SEPARATOR, hi, SEPARATOR, hi], dtype=np.int32)
+    store = write_trace(BlockTrace(events), tmp_path / "wide.trace")
+    np.testing.assert_array_equal(store.materialize().events, events)
+    store.verify(deep=True)
+
+
+def test_truncated_file_is_a_clean_error(tmp_path):
+    path = tmp_path / "t.trace"
+    events = np.arange(5000, dtype=np.int32)
+    write_trace(BlockTrace(events), path, chunk_events=512)
+    data = path.read_bytes()
+    for cut in (0, 3, _HEADER.size, len(data) // 2, len(data) - 2):
+        path.write_bytes(data[:cut])
+        with pytest.raises(TraceFormatError):
+            TraceStore(path).verify(deep=True)
+
+
+def test_corrupt_chunk_byte_is_a_clean_error(tmp_path):
+    path = tmp_path / "t.trace"
+    write_trace(BlockTrace(np.arange(5000, dtype=np.int32)), path, chunk_events=512)
+    data = bytearray(path.read_bytes())
+    data[_HEADER.size + 7] ^= 0xFF  # inside the first compressed chunk
+    path.write_bytes(bytes(data))
+    store = TraceStore(path)
+    store.verify()  # shallow check reads only header + directory
+    with pytest.raises(TraceFormatError, match="CRC"):
+        store.verify(deep=True)
+
+
+def test_foreign_file_is_rejected(tmp_path):
+    path = tmp_path / "not-a-trace.bin"
+    path.write_bytes(b"PK\x03\x04" + b"\0" * 64)
+    with pytest.raises(TraceFormatError, match="not a trace file"):
+        TraceStore(path).verify()
+
+
+def test_version_mismatch_is_rejected(tmp_path):
+    path = tmp_path / "t.trace"
+    write_trace(BlockTrace(np.arange(100, dtype=np.int32)), path)
+    data = bytearray(path.read_bytes())
+    # stamp a future version and re-seal the header CRC so the version
+    # check itself (not the CRC) is what rejects the file
+    head = bytearray(data[: _HEADER.size])
+    struct.pack_into("<H", head, len(_MAGIC), TRACE_FORMAT_VERSION + 1)
+    struct.pack_into("<I", head, _HEADER.size - 4, zlib.crc32(bytes(head[:-4])))
+    data[: _HEADER.size] = head
+    path.write_bytes(bytes(data))
+    with pytest.raises(TraceFormatError, match="version"):
+        TraceStore(path).verify()
+
+
+def test_missing_file_is_a_clean_error(tmp_path):
+    with pytest.raises(TraceFormatError, match="unreadable"):
+        TraceStore(tmp_path / "absent.trace").verify()
+
+
+def test_pickle_round_trip_reopens_by_path(tmp_path):
+    path = tmp_path / "t.trace"
+    events = np.arange(300, dtype=np.int32)
+    store = write_trace(BlockTrace(events), path, chunk_events=64)
+    clone = pickle.loads(pickle.dumps(store))
+    assert clone.path == store.path
+    np.testing.assert_array_equal(clone.materialize().events, events)
+
+
+def test_abort_leaves_no_file(tmp_path):
+    path = tmp_path / "t.trace"
+    with pytest.raises(RuntimeError, match="boom"):
+        with TraceWriter(path) as writer:
+            writer.append_events(np.arange(10, dtype=np.int32))
+            raise RuntimeError("boom")
+    assert not path.exists()
+    assert not path.with_name(path.name + ".tmp").exists()
+
+
+def test_stats_report_compression(tmp_path):
+    # block ids emitted back to back are close: deltas compress hard
+    events = np.cumsum(np.ones(20_000, dtype=np.int32)) % 900
+    store = write_trace(BlockTrace(events.astype(np.int32)), tmp_path / "t.trace", 4096)
+    stats = store.stats()
+    assert stats["n_events"] == 20_000
+    assert stats["n_chunks"] == 5
+    assert stats["raw_bytes"] == 80_000
+    assert stats["bytes"] < stats["raw_bytes"]
+    assert stats["compression_ratio"] > 1.0

@@ -1,0 +1,101 @@
+"""Fused multi-configuration driver vs the one-shot simulators.
+
+One `run_fused` pass carrying many streams must be bit-identical to
+running each fetch / trace-cache simulation (and each i-cache
+configuration) on its own.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import KB
+from repro.experiments.harness import get_workload, layouts_for
+from repro.simulators import (
+    CacheConfig,
+    FetchStream,
+    TraceCacheStream,
+    count_misses,
+    miss_counter,
+    run_fused,
+    simulate_fetch,
+    simulate_trace_cache,
+)
+from repro.tpcd.workload import WorkloadSettings
+
+SETTINGS = WorkloadSettings(scale=0.0005)
+CACHE_KBS = (4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload(SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def layouts(workload):
+    return layouts_for(workload, 8, 4, names=("orig", "P&H"))
+
+
+def test_fused_fetch_matches_one_shot_per_layout_and_config(workload, layouts):
+    counters = {
+        (name, kb): miss_counter(CacheConfig(size_bytes=kb * KB))
+        for name in layouts
+        for kb in CACHE_KBS
+    }
+    streams = {
+        name: FetchStream(
+            layout.name, consumers=[counters[(name, kb)] for kb in CACHE_KBS]
+        )
+        for name, layout in layouts.items()
+    }
+    run_fused(
+        workload.test_trace,
+        workload.program,
+        [(layout, streams[name]) for name, layout in layouts.items()],
+    )
+    for name, layout in layouts.items():
+        ref = simulate_fetch(workload.test_trace, workload.program, layout)
+        stream = streams[name]
+        assert stream.n_instructions == ref.n_instructions
+        assert stream.n_fetches == ref.n_fetches
+        assert stream.n_taken == ref.n_taken
+        for kb in CACHE_KBS:
+            expected = count_misses(ref.line_chunks, CacheConfig(size_bytes=kb * KB))
+            assert counters[(name, kb)].misses == expected
+
+
+def test_fused_trace_cache_matches_one_shot(workload, layouts):
+    layout = layouts["orig"]
+    counter = miss_counter(CacheConfig(size_bytes=8 * KB))
+    tc_stream = TraceCacheStream(layout.name, consumers=[counter])
+    # ride along with a fetch stream over the same layout object: the
+    # shared expansion/lengths must not perturb either simulation
+    fetch_stream = FetchStream(layout.name)
+    run_fused(
+        workload.test_trace,
+        workload.program,
+        [(layout, tc_stream), (layout, fetch_stream)],
+    )
+    ref = simulate_trace_cache(workload.test_trace, workload.program, layout)
+    assert tc_stream.n_instructions == ref.n_instructions
+    assert tc_stream.n_hits == ref.n_hits
+    assert tc_stream.n_misses == ref.n_misses
+    assert tc_stream.n_cycles_base == ref.n_cycles_base
+    expected = count_misses(ref.miss_line_chunks, CacheConfig(size_bytes=8 * KB))
+    assert counter.misses == expected
+    fetch_ref = simulate_fetch(workload.test_trace, workload.program, layout)
+    assert fetch_stream.n_fetches == fetch_ref.n_fetches
+
+
+def test_fused_collects_lines_identically(workload, layouts):
+    layout = layouts["P&H"]
+    stream = FetchStream(layout.name, collect_lines=True)
+    run_fused(workload.test_trace, workload.program, [(layout, stream)])
+    ref = simulate_fetch(workload.test_trace, workload.program, layout)
+    np.testing.assert_array_equal(
+        np.concatenate(stream.line_chunks), np.concatenate(ref.line_chunks)
+    )
+
+
+def test_fused_empty_pairs_is_a_no_op(workload):
+    run_fused(workload.test_trace, workload.program, [])
