@@ -1,0 +1,41 @@
+"""Fail CI if line coverage drops below the committed floor.
+
+Reads the ``coverage.json`` that pytest-cov writes (``--cov-report=json``)
+and compares ``totals.percent_covered`` against ``COVERAGE_FLOOR``. The
+floor is deliberately conservative — it exists to catch a large
+regression (a test module silently skipped, a package dropped from the
+run), not to ratchet every percentage point. Raise it as the suite grows.
+
+Usage: python .github/scripts/coverage_gate.py [coverage.json]
+"""
+
+import json
+import sys
+
+COVERAGE_FLOOR = 70.0
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "coverage.json"
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"coverage gate: cannot read {path}: {exc}")
+        return 1
+    percent = report["totals"]["percent_covered"]
+    covered = report["totals"]["covered_lines"]
+    total = report["totals"]["num_statements"]
+    print(
+        f"coverage gate: {percent:.2f}% of lines covered "
+        f"({covered}/{total}), floor {COVERAGE_FLOOR:.2f}%"
+    )
+    if percent < COVERAGE_FLOOR:
+        print("coverage gate: FAILED — coverage fell below the floor")
+        return 1
+    print("coverage gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,8 @@ Run: ``python -m repro.experiments.figure3``
 
 from __future__ import annotations
 
+import argparse
+
 import numpy as np
 
 from repro.cfg.weighted import WeightedCFG
@@ -74,7 +76,17 @@ def render(result: tuple[list[list[str]], list[str]]) -> str:
 
 
 def main(argv=None) -> None:
-    print(render(compute()))
+    parser = argparse.ArgumentParser(description="Figure 3: trace building worked example")
+    parser.add_argument(
+        "--exec-threshold", type=int, default=80,
+        help="minimum block execution count (paper's ExecThresh 4, x20 scaling)",
+    )
+    parser.add_argument(
+        "--branch-threshold", type=float, default=0.4,
+        help="minimum successor probability to extend a trace (paper's BranchThresh)",
+    )
+    args = parser.parse_args(argv)
+    print(render(compute(args.exec_threshold, args.branch_threshold)))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,191 @@
+"""Seeded random-input generators for the validation harness.
+
+One generator family serves two consumers:
+
+* the differential CLI (``python -m repro.validate``) draws cases from a
+  single ``numpy`` generator seeded by ``--seed``, so a CI failure is
+  reproducible from the seed in the conformance report;
+* the Hypothesis property tests draw the *parameters* (seed, chunk size,
+  cache geometry) with Hypothesis strategies and call these same
+  functions, so shrinking still works at the parameter level.
+
+The traces produced here are deliberately adversarial for the chunked
+simulators: heavy sequential runs (to exercise fall-through detection),
+random jumps, separators in random places, and window sizes small enough
+that nearly every fetch window straddles a chunk boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cfg.blocks import INSTR_BYTES, BlockKind
+from repro.cfg.layout import Layout
+from repro.cfg.program import Program, ProgramBuilder
+from repro.profiling.trace import SEPARATOR, BlockTrace
+from repro.simulators.icache import CacheConfig
+from repro.simulators.tracecache import TraceCacheConfig
+
+__all__ = [
+    "CHUNK_EVENT_CHOICES",
+    "GeneratedCase",
+    "random_cache_configs",
+    "random_case",
+    "random_layout",
+    "random_program",
+    "random_trace",
+    "random_trace_cache_config",
+]
+
+#: Window sizes fed to ``iter_events``; the small ones guarantee many
+#: windows and therefore many chunk-boundary truncations per case.
+CHUNK_EVENT_CHOICES = (3, 7, 17, 64, 1000)
+
+_KIND_CHOICES = (
+    int(BlockKind.FALL_THROUGH),
+    int(BlockKind.BRANCH),
+    int(BlockKind.CALL),
+    int(BlockKind.RETURN),
+)
+
+
+def random_program(rng: np.random.Generator) -> Program:
+    """A small random program: 1-6 procedures of 1-8 blocks each."""
+    builder = ProgramBuilder()
+    n_procs = int(rng.integers(1, 7))
+    for pid in range(n_procs):
+        n_blocks = int(rng.integers(1, 9))
+        sizes = [int(s) for s in rng.integers(1, 13, size=n_blocks)]
+        kinds = [_KIND_CHOICES[int(k)] for k in rng.integers(0, 4, size=n_blocks)]
+        builder.add_procedure(
+            f"proc{pid}",
+            "gen",
+            sizes,
+            kinds,
+            is_operation=bool(rng.integers(0, 2)),
+        )
+    return builder.build()
+
+
+def random_layout(rng: np.random.Generator, program: Program, name: str = "gen") -> Layout:
+    """A random valid layout: original, permuted-contiguous, or gapped.
+
+    Gapped layouts shuffle the block order and insert random
+    instruction-aligned holes between blocks — the shape the CFA mapping
+    produces — so address arithmetic is tested away from the contiguous
+    fast case.
+    """
+    mode = int(rng.integers(0, 3))
+    if mode == 0:
+        return Layout(name=f"{name}-orig", address=Layout.original(program).address)
+    order = rng.permutation(program.n_blocks)
+    if mode == 1:
+        return Layout.from_order(program, order, name=f"{name}-perm")
+    name = f"{name}-gap"
+    address = np.empty(program.n_blocks, dtype=np.int64)
+    cursor = int(rng.integers(0, 4)) * INSTR_BYTES
+    for block in order.tolist():
+        cursor += int(rng.integers(0, 6)) * INSTR_BYTES  # random hole
+        address[block] = cursor
+        cursor += int(program.block_size[block]) * INSTR_BYTES
+    layout = Layout(name=name, address=address)
+    layout.validate(program)
+    return layout
+
+
+def random_trace(
+    rng: np.random.Generator,
+    program: Program,
+    *,
+    max_events: int = 600,
+) -> BlockTrace:
+    """A random trace with sequential bursts, jumps and run separators.
+
+    With probability ~1/2 the next event continues sequentially
+    (``id + 1``), which — under the original layout — produces genuine
+    fall-through transitions; otherwise it jumps to a random block.
+    Separators appear with small probability, including back-to-back and
+    at the very start/end of the trace.
+    """
+    n_blocks = program.n_blocks
+    n_events = int(rng.integers(0, max_events + 1))
+    events: list[int] = []
+    current = int(rng.integers(0, n_blocks))
+    for _ in range(n_events):
+        roll = rng.random()
+        if roll < 0.08:
+            events.append(SEPARATOR)
+            current = int(rng.integers(0, n_blocks))
+            continue
+        if roll < 0.55 and current + 1 < n_blocks:
+            current += 1
+        else:
+            current = int(rng.integers(0, n_blocks))
+        events.append(current)
+    return BlockTrace(np.asarray(events, dtype=np.int32))
+
+
+def random_cache_configs(rng: np.random.Generator) -> list[CacheConfig]:
+    """A direct-mapped, a 2-way and a victim configuration, tiny enough
+    that random traces actually conflict."""
+    line_bytes = int(rng.choice((16, 32, 64)))
+    sets = int(rng.choice((4, 8, 16, 32)))
+    victim_lines = int(rng.choice((1, 4, 16)))
+    return [
+        CacheConfig(size_bytes=sets * line_bytes, line_bytes=line_bytes),
+        CacheConfig(size_bytes=2 * sets * line_bytes, line_bytes=line_bytes, associativity=2),
+        CacheConfig(size_bytes=sets * line_bytes, line_bytes=line_bytes, victim_lines=victim_lines),
+    ]
+
+
+def random_trace_cache_config(rng: np.random.Generator) -> TraceCacheConfig:
+    """A tiny trace cache so random traces see evictions and stale hits."""
+    return TraceCacheConfig(
+        n_entries=int(rng.choice((4, 8, 16, 64))),
+        trace_instructions=int(rng.choice((8, 16))),
+        branch_limit=int(rng.choice((2, 3))),
+    )
+
+
+@dataclass
+class GeneratedCase:
+    """One full differential test case."""
+
+    seed: int
+    program: Program
+    layout: Layout
+    trace: BlockTrace
+    chunk_events: int
+    cache_configs: list[CacheConfig]
+    tc_config: TraceCacheConfig
+
+    def describe(self) -> dict:
+        """JSON-serializable reproduction recipe for the report."""
+        return {
+            "seed": self.seed,
+            "n_blocks": self.program.n_blocks,
+            "n_events": len(self.trace),
+            "chunk_events": self.chunk_events,
+            "layout_mode": self.layout.name,
+            "tc_entries": self.tc_config.n_entries,
+        }
+
+
+def random_case(seed: int) -> GeneratedCase:
+    """Build the full differential case for ``seed`` (deterministic)."""
+    rng = np.random.default_rng(seed)
+    program = random_program(rng)
+    layout = random_layout(rng, program)
+    trace = random_trace(rng, program)
+    chunk_events = int(rng.choice(CHUNK_EVENT_CHOICES))
+    return GeneratedCase(
+        seed=seed,
+        program=program,
+        layout=layout,
+        trace=trace,
+        chunk_events=chunk_events,
+        cache_configs=random_cache_configs(rng),
+        tc_config=random_trace_cache_config(rng),
+    )

@@ -1,10 +1,40 @@
-"""Test-wide fixtures: isolate the persistent artifact cache.
+"""Test-wide fixtures: isolate the persistent artifact cache, and shared
+Hypothesis profiles.
 
 Every test session gets a private ``REPRO_CACHE_DIR`` so tests neither
 read a developer's warm cache (hermeticity) nor pollute it.
+
+Hypothesis profiles (select with ``HYPOTHESIS_PROFILE=<name>``):
+
+* ``ci`` — derandomized and deadline-free, so property tests can neither
+  flake on slow shared runners nor go red on a seed the change under
+  review never touched; CI selects this one.
+* ``dev`` (default) — deadline-free with a modest example budget for
+  quick local iteration.
+* ``thorough`` — a large randomized example budget for hunting; run as
+  ``HYPOTHESIS_PROFILE=thorough pytest tests/validate``.
 """
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None, max_examples=50)
+settings.register_profile(
+    "thorough",
+    deadline=None,
+    max_examples=500,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(autouse=True, scope="session")

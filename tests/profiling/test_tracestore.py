@@ -128,6 +128,68 @@ def test_corrupt_chunk_byte_is_a_clean_error(tmp_path):
         store.verify(deep=True)
 
 
+# -- crafted corruption corpus --------------------------------------------
+#
+# Each case damages exactly one structure and re-seals every checksum
+# *around* it, so the error must come from the check that guards that
+# structure — not from a coarser one tripping first.
+
+
+def _written(tmp_path, n=5000, chunk_events=512):
+    path = tmp_path / "t.trace"
+    write_trace(BlockTrace(np.arange(n, dtype=np.int32)), path, chunk_events)
+    return path
+
+
+def test_zero_length_store_is_rejected(tmp_path):
+    path = tmp_path / "empty.trace"
+    path.write_bytes(b"")
+    with pytest.raises(TraceFormatError, match="truncated header"):
+        TraceStore(path).verify()
+
+
+def test_directory_truncated_mid_record(tmp_path):
+    path = _written(tmp_path)
+    data = path.read_bytes()
+    dir_offset = _HEADER.unpack_from(data)[6]
+    path.write_bytes(data[: dir_offset + 3])  # cut inside the chunk count
+    with pytest.raises(TraceFormatError, match="truncated directory"):
+        TraceStore(path).verify()
+
+
+def test_flipped_version_byte_breaks_header_crc(tmp_path):
+    # unlike test_version_mismatch_is_rejected (which re-seals the CRC),
+    # a *silently* flipped version byte must already fail the header CRC
+    path = _written(tmp_path)
+    data = bytearray(path.read_bytes())
+    data[len(_MAGIC)] ^= 0xFF
+    path.write_bytes(bytes(data))
+    with pytest.raises(TraceFormatError, match="header CRC"):
+        TraceStore(path).verify()
+
+
+def test_bad_recorded_chunk_crc_fails_deep_verify(tmp_path):
+    # corrupt the *recorded* CRC of chunk 0 (the payload stays intact) and
+    # re-seal the directory CRC: shallow verify passes, deep verify must
+    # notice the payload no longer matches its record
+    path = _written(tmp_path)
+    data = bytearray(path.read_bytes())
+    dir_offset = _HEADER.unpack_from(data)[6]
+    count_size = struct.calcsize("<I")
+    record_size = struct.calcsize("<QIIII")
+    # record 0's crc32 field sits after offset (Q) + comp_size (I) + n_events (I)
+    crc_field = dir_offset + count_size + struct.calcsize("<QII")
+    struct.pack_into("<I", data, crc_field, 0xDEADBEEF)
+    (n_chunks,) = struct.unpack_from("<I", data, dir_offset)
+    body_end = dir_offset + count_size + n_chunks * record_size
+    struct.pack_into("<I", data, body_end, zlib.crc32(bytes(data[dir_offset:body_end])))
+    path.write_bytes(bytes(data))
+    store = TraceStore(path)
+    store.verify()  # header + directory are self-consistent
+    with pytest.raises(TraceFormatError, match="chunk CRC"):
+        store.verify(deep=True)
+
+
 def test_foreign_file_is_rejected(tmp_path):
     path = tmp_path / "not-a-trace.bin"
     path.write_bytes(b"PK\x03\x04" + b"\0" * 64)
