@@ -54,10 +54,12 @@ ARTIFACT_VERSIONS: dict[str, int] = {
     "suite": 1,
     "suite-task": 1,  # per-task suite checkpoints (crash/interrupt resume)
     "trace": 1,  # chunked trace files (repro.profiling.tracestore format v1)
+    "serve-result": 1,  # repro.serve job results for uploaded-trace jobs
 }
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_CACHE_DISABLE"
+_ENV_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
 
 
 def cache_enabled() -> bool:
@@ -112,6 +114,7 @@ class CacheStats:
     errors: int = 0  #: load errors surfaced as misses without unlinking
     corrupt_dropped: int = 0  #: truncated/unparseable entries unlinked
     tmp_swept: int = 0  #: orphaned ``*.tmp`` files reclaimed
+    evictions: int = 0  #: entries removed by the size-cap LRU sweep
 
     def snapshot(self) -> "CacheStats":
         return dataclasses.replace(self)
@@ -137,14 +140,35 @@ _CORRUPT_EXCEPTIONS = (pickle.UnpicklingError, EOFError)
 class ArtifactCache:
     """Pickle-backed artifact store with content-addressed keys."""
 
-    def __init__(self, root: Path | str | None = None) -> None:
+    def __init__(
+        self, root: Path | str | None = None, *, max_bytes: int | None = None
+    ) -> None:
         self._root = Path(root) if root is not None else None
+        self._max_bytes = max_bytes
         self.stats = CacheStats()
 
     @property
     def root(self) -> Path:
         """Resolved store root (env re-read when no explicit root given)."""
         return self._root if self._root is not None else _default_root()
+
+    @property
+    def max_bytes(self) -> int | None:
+        """Optional total-size cap (``$REPRO_CACHE_MAX_BYTES`` when unset).
+
+        ``None``/``0`` means unbounded — the sweep never runs and stores
+        cost nothing extra.
+        """
+        if self._max_bytes is not None:
+            return self._max_bytes or None
+        env = os.environ.get(_ENV_MAX_BYTES, "").strip()
+        if not env:
+            return None
+        try:
+            cap = int(env)
+        except ValueError:
+            return None
+        return cap if cap > 0 else None
 
     def path_for(self, kind: str, key_obj: Any) -> Path:
         digest = stable_digest((kind, ARTIFACT_VERSIONS.get(kind, 0), key_obj))
@@ -178,6 +202,10 @@ class ArtifactCache:
             self.stats.errors += 1
             return None
         self.stats.hits += 1
+        try:
+            os.utime(path)  # refresh recency for the LRU-by-mtime sweep
+        except OSError:
+            pass
         return value
 
     def store(self, kind: str, key_obj: Any, value: Any) -> Path | None:
@@ -199,6 +227,7 @@ class ArtifactCache:
             return None  # read-only or full disk: caching is best-effort
         self.stats.stores += 1
         self._sweep_tmp(path.parent)
+        self._enforce_cap(protect=path)
         return path
 
     def has(self, kind: str, key_obj: Any) -> bool:
@@ -236,6 +265,52 @@ class ArtifactCache:
             except OSError:
                 pass
         self.stats.tmp_swept += removed
+        return removed
+
+    def _enforce_cap(self, protect: Path | None = None) -> int:
+        """LRU-by-mtime sweep: evict oldest entries until under ``max_bytes``.
+
+        Runs after every successful store when a cap is configured; the
+        just-written entry (``protect``) is never evicted, so a single
+        artifact larger than the cap still lands (the cap then empties the
+        rest of the store around it). Concurrent readers racing an
+        eviction observe an ordinary miss and recompute. Returns the
+        number of entries removed.
+        """
+        cap = self.max_bytes
+        if cap is None:
+            return 0
+        base = self.root / f"v{CACHE_VERSION}"
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        try:
+            candidates = list(base.rglob("*"))
+        except OSError:
+            return 0
+        for p in candidates:
+            try:
+                if not p.is_file() or p.suffix == ".tmp":
+                    continue
+                st = p.stat()
+            except OSError:
+                continue
+            total += st.st_size
+            if protect is None or p != protect:
+                entries.append((st.st_mtime, st.st_size, p))
+        if total <= cap:
+            return 0
+        entries.sort()  # oldest mtime first
+        removed = 0
+        for _, size, p in entries:
+            if total <= cap:
+                break
+            try:
+                p.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self.stats.evictions += removed
         return removed
 
     def clear(self, kind: str | None = None) -> int:

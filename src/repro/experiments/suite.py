@@ -76,6 +76,7 @@ __all__ = [
     "SuiteTimeoutError",
     "compute_suite",
     "get_suite",
+    "suite_cache_key",
     "suite_for",
 ]
 
@@ -733,8 +734,18 @@ _SUITES: dict[tuple, SuiteResults] = {}
 _SUITES_ADHOC: "weakref.WeakKeyDictionary[Workload, dict]" = weakref.WeakKeyDictionary()
 
 
+def suite_cache_key(settings: WorkloadSettings, grid, tc_rows=None) -> tuple:
+    """The artifact-cache address of a full suite result.
+
+    Public so other consumers of the engine (``repro.serve`` job dedupe)
+    can probe for finished suites at exactly the address this module
+    stores them under — a batch CLI run warms the service and vice versa.
+    """
+    return (settings, tuple(grid), tuple(grid if tc_rows is None else tc_rows))
+
+
 def _suite_key(settings: WorkloadSettings, grid, tc_rows) -> tuple:
-    return (settings, grid, tc_rows)
+    return suite_cache_key(settings, grid, tc_rows)
 
 
 def _write_cached_manifest(manifest: Path | str, settings, source: str) -> None:

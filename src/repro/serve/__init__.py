@@ -1,0 +1,40 @@
+"""Layout-as-a-service: the paper's pipeline as a long-running server.
+
+``repro.serve`` turns the batch profile → layout → simulate pipeline
+inside-out: an asyncio HTTP/JSON service (stdlib only) that accepts RTRC
+trace uploads straight into the chunked tracestore, queues layout
+optimization jobs (STC / P&H / Torrellas over a configurable geometry
+grid) on the existing fault-tolerant suite engine, dedupes identical work
+across tenants through the content-addressed artifact cache, and serves
+layout quality metrics (miss rate, fetch bandwidth) with explicit 429
+backpressure when saturated.
+
+Run the server::
+
+    python -m repro.serve --port 8753
+
+Talk to it::
+
+    from repro.serve.client import ServeClient
+    client = ServeClient("127.0.0.1", 8753)
+    job = await client.submit_job({"scale": 0.0005, "grid": [[8, 2]]})
+    done = await client.wait_job(job["id"])
+
+See ``examples/load_test.py`` for a multi-tenant driver and
+EXPERIMENTS.md for the HTTP API reference.
+"""
+
+from repro.serve.codec import JobSpec, SpecError, result_digest, serialize_suite
+from repro.serve.jobs import Job, JobManager, QueueFullError
+from repro.serve.server import ServeApp
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "JobSpec",
+    "QueueFullError",
+    "ServeApp",
+    "SpecError",
+    "result_digest",
+    "serialize_suite",
+]

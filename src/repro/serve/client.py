@@ -1,0 +1,173 @@
+"""Async client for the optimization service.
+
+One connection per request (mirroring the server's ``Connection:
+close``), stdlib only. Typical tenant flow::
+
+    client = ServeClient("127.0.0.1", 8753, tenant="tenant-3")
+    trace = await client.upload_trace(Path("test.trace"))
+    job = await client.submit_job({"scale": 0.0005, "trace_id": trace["trace_id"]})
+    done = await client.wait_job(job["id"])
+    print(done["result"]["cells"]["8/2"]["ops"]["miss_rate"])
+
+Errors are typed: a 429 raises :class:`Backpressure` (with
+``retry_after``), every other non-2xx raises :class:`ServeError` carrying
+the status and decoded body. :meth:`submit_job_retry` wraps submission in
+the polite backoff loop tenants are expected to run under saturation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+from repro.serve.http import read_response
+
+__all__ = ["Backpressure", "ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"server answered {status}: {detail}")
+        self.status = status
+        self.payload = payload
+
+
+class Backpressure(ServeError):
+    """The service answered 429: back off and resubmit."""
+
+    def __init__(self, status: int, payload: object, retry_after: float) -> None:
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8753,
+        *,
+        tenant: str | None = None,
+        timeout: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+
+    async def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        content_type: str = "application/json",
+    ) -> tuple[int, dict[str, str], bytes]:
+        async def exchange() -> tuple[int, dict[str, str], bytes]:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+            try:
+                head = [
+                    f"{method} {path} HTTP/1.1",
+                    f"Host: {self.host}:{self.port}",
+                    "Connection: close",
+                ]
+                if self.tenant:
+                    head.append(f"X-Tenant: {self.tenant}")
+                if body or method in ("POST", "PUT"):
+                    head.append(f"Content-Type: {content_type}")
+                    head.append(f"Content-Length: {len(body)}")
+                writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+                await writer.drain()
+                return await read_response(reader)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except Exception:
+                    pass
+
+        return await asyncio.wait_for(exchange(), timeout=self.timeout)
+
+    async def request_json(
+        self,
+        method: str,
+        path: str,
+        obj: object | None = None,
+        *,
+        raw_body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> dict:
+        body = raw_body if raw_body is not None else (
+            json.dumps(obj).encode() if obj is not None else b""
+        )
+        status, headers, payload = await self._request(method, path, body, content_type)
+        try:
+            doc = json.loads(payload) if payload else {}
+        except ValueError:
+            doc = {"error": payload[:200].decode("latin-1", "replace")}
+        if status == 429:
+            raise Backpressure(status, doc, float(headers.get("retry-after", "1") or 1))
+        if status >= 400:
+            raise ServeError(status, doc)
+        return doc
+
+    # -- endpoints -------------------------------------------------------
+
+    async def health(self) -> dict:
+        return await self.request_json("GET", "/healthz")
+
+    async def metrics(self) -> dict:
+        return await self.request_json("GET", "/v1/metrics")
+
+    async def upload_trace(self, trace: bytes | Path | str) -> dict:
+        """Upload RTRC bytes (or a stored-trace file) to ``/v1/traces``."""
+        data = trace if isinstance(trace, bytes) else Path(trace).read_bytes()
+        return await self.request_json(
+            "POST", "/v1/traces", raw_body=data, content_type="application/octet-stream"
+        )
+
+    async def trace_info(self, trace_id: str) -> dict:
+        return await self.request_json("GET", f"/v1/traces/{trace_id}")
+
+    async def submit_job(self, spec: dict) -> dict:
+        """Submit once; raises :class:`Backpressure` on a full queue."""
+        return await self.request_json("POST", "/v1/jobs", spec)
+
+    async def submit_job_retry(
+        self, spec: dict, *, max_attempts: int = 50, on_reject=None
+    ) -> dict:
+        """Submit with polite backoff: honours ``Retry-After`` on each 429."""
+        for attempt in range(1, max_attempts + 1):
+            try:
+                return await self.submit_job(spec)
+            except Backpressure as exc:
+                if on_reject is not None:
+                    on_reject(exc)
+                if attempt == max_attempts:
+                    raise
+                await asyncio.sleep(exc.retry_after)
+        raise AssertionError("unreachable")
+
+    async def get_job(self, job_id: str) -> dict:
+        return await self.request_json("GET", f"/v1/jobs/{job_id}")
+
+    async def list_jobs(self) -> list[dict]:
+        return (await self.request_json("GET", "/v1/jobs"))["jobs"]
+
+    async def wait_job(self, job_id: str, *, poll: float = 0.05, timeout: float = 600.0) -> dict:
+        """Poll until the job completes or fails; returns the full record."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            job = await self.get_job(job_id)
+            if job["state"] in ("completed", "failed"):
+                return job
+            if asyncio.get_running_loop().time() > deadline:
+                raise TimeoutError(f"job {job_id} still {job['state']} after {timeout}s")
+            await asyncio.sleep(poll)
+
+    async def shutdown(self) -> dict:
+        return await self.request_json("POST", "/v1/shutdown")

@@ -1,0 +1,187 @@
+"""Minimal HTTP/1.1 on asyncio streams — just enough for the service.
+
+Stdlib-only by design (the container bakes no web framework): request
+parsing for the server side, response parsing for the client side, and a
+shared response writer. Deliberate restrictions, enforced rather than
+half-supported:
+
+* bodies require ``Content-Length`` (no chunked transfer encoding);
+* one request per connection (``Connection: close`` both ways) — the
+  load-test workload is many short independent exchanges, and
+  per-request connections keep failure isolation trivial;
+* hard caps on request-line/header sizes and on buffered body bytes
+  (streaming consumers read the body off the reader themselves).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "read_response",
+    "response_bytes",
+]
+
+MAX_LINE_BYTES = 8192
+MAX_HEADERS = 100
+#: Cap on fully-buffered bodies (JSON endpoints); uploads stream instead.
+MAX_JSON_BODY_BYTES = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Maps straight to an error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed request; the body stays on ``reader`` until consumed."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]  # keys lower-cased
+    reader: object  # asyncio.StreamReader
+    content_length: int = 0
+    _consumed: bool = field(default=False, repr=False)
+
+    async def body(self, limit: int = MAX_JSON_BODY_BYTES) -> bytes:
+        """The full body (``Content-Length`` bytes), bounded by ``limit``."""
+        if self._consumed:
+            raise RuntimeError("request body already consumed")
+        self._consumed = True
+        if self.content_length == 0:
+            return b""
+        if self.content_length > limit:
+            raise HttpError(413, f"body of {self.content_length} bytes exceeds {limit}")
+        try:
+            return await self.reader.readexactly(self.content_length)
+        except Exception as exc:
+            raise HttpError(400, f"truncated request body: {exc!r}") from exc
+
+    async def json(self, limit: int = MAX_JSON_BODY_BYTES) -> object:
+        raw = await self.body(limit)
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+async def _read_line(reader, what: str) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except Exception as exc:
+        raise HttpError(400, f"malformed {what}: {exc!r}") from exc
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpError(413, f"{what} exceeds {MAX_LINE_BYTES} bytes")
+    return line[:-2]
+
+
+async def _read_headers(reader) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        line = await _read_line(reader, "header line")
+        if not line:
+            return headers
+        name, sep, value = line.partition(b":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line[:80]!r}")
+        headers[name.decode("latin-1").strip().lower()] = value.decode("latin-1").strip()
+    raise HttpError(413, f"more than {MAX_HEADERS} headers")
+
+
+async def read_request(reader) -> Request | None:
+    """Parse one request head; ``None`` for a connection closed unused."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except Exception:
+        return None  # EOF before a request: the peer just went away
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpError(413, "request line too long")
+    parts = line[:-2].decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {line[:80]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers = await _read_headers(reader)
+    raw_length = headers.get("content-length", "0")
+    try:
+        content_length = int(raw_length)
+        if content_length < 0:
+            raise ValueError
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length {raw_length!r}") from None
+    if method in ("POST", "PUT") and "content-length" not in headers:
+        raise HttpError(411, "Content-Length required")
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(411, "chunked transfer encoding is not supported")
+    return Request(
+        method=method.upper(),
+        path=split.path or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        reader=reader,
+        content_length=content_length,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes | dict,
+    *,
+    content_type: str | None = None,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialize a full response (dict bodies become JSON)."""
+    if isinstance(body, dict):
+        payload = (json.dumps(body, sort_keys=True) + "\n").encode()
+        content_type = content_type or "application/json"
+    else:
+        payload = body
+        content_type = content_type or "application/octet-stream"
+    head = [
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload
+
+
+async def read_response(reader) -> tuple[int, dict[str, str], bytes]:
+    """Client side: parse one response (status, headers, full body)."""
+    line = await _read_line(reader, "status line")
+    parts = line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise HttpError(500, f"malformed status line {line[:80]!r}")
+    status = int(parts[1])
+    headers = await _read_headers(reader)
+    length = int(headers.get("content-length", "0") or "0")
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body

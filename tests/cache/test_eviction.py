@@ -1,0 +1,85 @@
+"""Size-capped cache: LRU-by-mtime eviction on store.
+
+A long-running server must not grow the artifact store without bound:
+with ``max_bytes`` set (constructor or ``$REPRO_CACHE_MAX_BYTES``),
+every store sweeps oldest-first until the tree fits, counting
+``CacheStats.evictions``. Loads refresh an entry's mtime, so recently
+served artifacts survive the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cache import ArtifactCache
+
+PAYLOAD = b"x" * 4096  # pickles to a bit over 4 KiB per entry
+
+
+def _age(cache: ArtifactCache, kind: str, key, seconds_ago: float) -> None:
+    path = cache.path_for(kind, key)
+    past = path.stat().st_mtime - seconds_ago
+    os.utime(path, (past, past))
+
+
+def test_uncapped_cache_never_evicts(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    for i in range(10):
+        cache.store("suite", ("k", i), PAYLOAD)
+    assert cache.stats.evictions == 0
+    assert all(cache.load("suite", ("k", i)) == PAYLOAD for i in range(10))
+
+
+def test_cap_evicts_oldest_first(tmp_path):
+    cache = ArtifactCache(tmp_path, max_bytes=3 * 5000)
+    for i in range(3):
+        cache.store("suite", ("k", i), PAYLOAD)
+        _age(cache, "suite", ("k", i), seconds_ago=100 - i)
+    assert cache.stats.evictions == 0
+    cache.store("suite", ("k", 3), PAYLOAD)  # pushes the tree over the cap
+    assert cache.stats.evictions >= 1
+    assert cache.load("suite", ("k", 0)) is None, "oldest entry should go first"
+    assert cache.load("suite", ("k", 3)) == PAYLOAD, "just-written entry is protected"
+
+
+def test_load_refreshes_recency(tmp_path):
+    cache = ArtifactCache(tmp_path, max_bytes=3 * 5000)
+    for i in range(3):
+        cache.store("suite", ("k", i), PAYLOAD)
+        _age(cache, "suite", ("k", i), seconds_ago=100 - i)
+    assert cache.load("suite", ("k", 0)) == PAYLOAD  # now the most recent
+    cache.store("suite", ("k", 3), PAYLOAD)
+    assert cache.load("suite", ("k", 0)) == PAYLOAD, "recently-read entry survived"
+    assert cache.load("suite", ("k", 1)) is None, "stale entry evicted instead"
+
+
+def test_oversized_single_artifact_still_lands(tmp_path):
+    cache = ArtifactCache(tmp_path, max_bytes=1000)
+    cache.store("suite", ("k", "small"), b"y" * 100)
+    cache.store("suite", ("k", "big"), PAYLOAD)
+    assert cache.load("suite", ("k", "big")) == PAYLOAD
+    assert cache.load("suite", ("k", "small")) is None
+    assert cache.stats.evictions == 1
+
+
+def test_env_cap_honoured(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", str(2 * 5000))
+    cache = ArtifactCache(tmp_path)
+    assert cache.max_bytes == 2 * 5000
+    for i in range(4):
+        cache.store("suite", ("k", i), PAYLOAD)
+        _age(cache, "suite", ("k", i), seconds_ago=100 - i)
+    assert cache.stats.evictions >= 1
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "not-a-number")
+    assert cache.max_bytes is None
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES")
+    assert cache.max_bytes is None
+
+
+def test_evictions_reported_in_stats_dict(tmp_path):
+    cache = ArtifactCache(tmp_path, max_bytes=1000)
+    before = cache.stats.snapshot()
+    cache.store("suite", ("k", 0), PAYLOAD)
+    cache.store("suite", ("k", 1), PAYLOAD)
+    delta = cache.stats.delta(before)
+    assert "evictions" in delta and delta["evictions"] >= 1
