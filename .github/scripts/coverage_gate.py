@@ -12,7 +12,7 @@ Usage: python .github/scripts/coverage_gate.py [coverage.json]
 import json
 import sys
 
-COVERAGE_FLOOR = 70.0
+COVERAGE_FLOOR = 72.0
 
 
 def main() -> int:

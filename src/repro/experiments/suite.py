@@ -66,6 +66,12 @@ from repro.simulators import (
     simulate_trace_cache,
 )
 from repro.simulators.fetch import MISS_PENALTY_CYCLES
+from repro.simulators.sharded import (
+    ShardError,
+    ShardTimeoutError,
+    plan_shards,
+    run_sharded,
+)
 from repro.tpcd.workload import Workload, WorkloadSettings
 from repro.util.progress import Progress
 
@@ -635,6 +641,93 @@ def _run_parallel(
         _WORKER_CTX = None
 
 
+class _ShardCheckpoint:
+    """Adapter scoping :func:`run_sharded` job checkpoints into the
+    artifact cache (kind ``suite-shard``).
+
+    The prefix pins everything a shard payload depends on — workload
+    settings, cache sizes, the exact task set (stream composition; suite
+    streams always start cold) and the shard plan — so resumed runs only
+    ever reuse payloads that are bit-identical to a fresh computation.
+    """
+
+    def __init__(self, cache, prefix: tuple) -> None:
+        self._cache = cache
+        self._prefix = prefix
+
+    def load(self, key: tuple):
+        return self._cache.load("suite-shard", self._prefix + (key,))
+
+    def store(self, key: tuple, payload) -> None:
+        self._cache.store("suite-shard", self._prefix + (key,), payload)
+
+
+def _run_sharded_suite(
+    workload, grid, cache_sizes, tasks, settings, shards, jobs,
+    task_timeout, retries, on_done, runlog, prog, cache,
+):
+    """Run every missing task in one shard-parallel pass over the trace.
+
+    All tasks' fused streams join a single :func:`run_sharded` call, so
+    the checkpoint/retry/resume unit is the *shard job* rather than the
+    task: an interrupted run recomputes only the missing shard jobs and
+    relay steps. Payloads are finalized from the stitched streams with
+    the same arithmetic as the fused path, so results are bit-identical
+    for any shard/worker combination.
+    """
+    trace = workload.test_trace
+    memo: dict = {}
+    units = []
+    for task in tasks:
+        try:
+            pairs, finalize = _unit_for(workload, task, grid, cache_sizes, memo)
+        except Exception as exc:
+            label = _task_label(task)
+            runlog.task_failed(label, task[0], exc, 1)
+            prog.fail(f"{label}: {exc!r}")
+            raise SuiteTaskError(task, label, exc) from exc
+        units.append((task, pairs, finalize))
+    all_pairs = [pair for _, pairs, _ in units for pair in pairs]
+    plan = plan_shards(len(trace), shards=shards)
+    runlog.event(
+        "shard-plan",
+        shards=plan.n_shards,
+        chunk_events=plan.chunk_events,
+        bounds=list(plan.bounds),
+    )
+    checkpoint = None
+    if cache is not None:
+        prefix = (settings, tuple(cache_sizes), tuple(tasks), plan.signature())
+        checkpoint = _ShardCheckpoint(cache, prefix)
+
+    def on_job(key: tuple, source: str) -> None:
+        runlog.event("shard-job", job=list(key), source=source)
+
+    t0 = time.perf_counter()
+    try:
+        report = run_sharded(
+            trace, workload.program, all_pairs,
+            shards=plan, jobs=jobs, retries=retries,
+            task_timeout=task_timeout, checkpoint=checkpoint, on_job=on_job,
+        )
+    except ShardTimeoutError as exc:
+        labels = [repr(key) for key in exc.keys]
+        runlog.event("stall", tasks=labels, timeout=exc.timeout)
+        prog.fail(f"stalled {exc.timeout:.1f}s waiting on: {', '.join(labels)}")
+        raise SuiteTimeoutError(labels, exc.timeout) from exc
+    except ShardError as exc:
+        label = f"shard job {exc.key!r}"
+        runlog.task_failed(label, "shard", exc.cause, 1)
+        prog.fail(f"{label}: {exc.cause!r}")
+        raise SuiteTaskError(("shard", exc.key), label, exc.cause) from exc
+    if report.degraded:
+        runlog.event("pool-broken", remaining=0)
+    share = (time.perf_counter() - t0) / max(1, len(units))
+    for task, _, finalize in units:
+        on_done(task, finalize(), share, 1)
+    return report
+
+
 def compute_suite(
     workload: Workload,
     grid: tuple[tuple[int, int], ...] = CACHE_CFA_GRID,
@@ -642,6 +735,7 @@ def compute_suite(
     tc_rows: tuple[tuple[int, int], ...] | None = None,
     progress: bool = False,
     jobs: int = 1,
+    shards: int | None = None,
     resume: bool = True,
     task_timeout: float | None = None,
     retries: int = 2,
@@ -651,6 +745,11 @@ def compute_suite(
 
     ``jobs > 1`` fans the (layout x geometry) tasks out over worker
     processes (fork platforms only); results are bit-identical to serial.
+    ``shards > 1`` switches the axis of parallelism from tasks to *trace
+    spans*: every missing task joins one shard-parallel pass
+    (:func:`repro.simulators.run_sharded`) whose shard jobs fan out over
+    ``jobs`` workers — still bit-identical, and the checkpoint/retry/
+    resume unit becomes the shard job instead of the task.
 
     With ``resume=True`` (the default) each completed task is
     checkpointed in the artifact cache and an interrupted or failed run
@@ -702,8 +801,17 @@ def compute_suite(
         if missing:
             # profile once in the parent: workers inherit it copy-on-write
             training_profile(workload)
-            n_workers = min(max(1, jobs), len(missing))
-            if n_workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+            if shards is not None and shards > 1:
+                _run_sharded_suite(
+                    workload, grid, cache_sizes, missing, settings, shards, jobs,
+                    task_timeout, retries, on_done, runlog, prog,
+                    cache if checkpointing else None,
+                )
+            elif (
+                min(max(1, jobs), len(missing)) > 1
+                and "fork" in multiprocessing.get_all_start_methods()
+            ):
+                n_workers = min(max(1, jobs), len(missing))
                 remaining = _run_parallel(
                     workload, grid, cache_sizes, missing, n_workers,
                     task_timeout, retries, on_done, runlog, prog,
@@ -763,6 +871,7 @@ def get_suite(
     tc_rows: tuple[tuple[int, int], ...] | None = None,
     progress: bool = False,
     jobs: int = 1,
+    shards: int | None = None,
     resume: bool = True,
     task_timeout: float | None = None,
     retries: int = 2,
@@ -772,11 +881,15 @@ def get_suite(
 
     Settings-stamped workloads key by their :class:`WorkloadSettings` (in
     memory and in the artifact cache); ad-hoc workloads key by instance —
-    never by ``id()``, which the garbage collector reuses.
+    never by ``id()``, which the garbage collector reuses. ``shards`` and
+    ``jobs`` only affect how a miss is computed, never the cache key:
+    sharded results are bit-identical to fused ones.
     """
     tc_rows = grid if tc_rows is None else tc_rows
     settings = workload.settings
-    fault_kwargs = dict(resume=resume, task_timeout=task_timeout, retries=retries)
+    fault_kwargs = dict(
+        shards=shards, resume=resume, task_timeout=task_timeout, retries=retries
+    )
     if settings is None:
         per_workload = _SUITES_ADHOC.setdefault(workload, {})
         key = (grid, tc_rows)
@@ -812,6 +925,7 @@ def suite_for(
     tc_rows: tuple[tuple[int, int], ...] | None = None,
     progress: bool = False,
     jobs: int = 1,
+    shards: int | None = None,
     resume: bool = True,
     task_timeout: float | None = None,
     retries: int = 2,
@@ -834,5 +948,6 @@ def suite_for(
     workload = get_workload(settings)
     return get_suite(
         workload, grid, tc_rows=tc_rows, progress=progress, jobs=jobs,
-        resume=resume, task_timeout=task_timeout, retries=retries, manifest=manifest,
+        shards=shards, resume=resume, task_timeout=task_timeout,
+        retries=retries, manifest=manifest,
     )

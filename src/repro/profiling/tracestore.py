@@ -336,20 +336,45 @@ class TraceStore:
 
     # -- streaming reads -------------------------------------------------
 
-    def _iter_stored(self) -> Iterator[np.ndarray]:
+    def _iter_stored(
+        self, start_event: int = 0, stop_event: int | None = None
+    ) -> Iterator[np.ndarray]:
+        """Decompress stored chunks, restricted to ``[start_event, stop_event)``.
+
+        The directory's per-chunk event counts locate the overlapping
+        chunks, so a slice near the end of a long trace never touches the
+        chunks before it — shard workers pay only for their own span.
+        """
         records = self._ensure()
         if not records:
             return
+        stop = self._n_events if stop_event is None else min(stop_event, self._n_events)
+        if start_event >= stop:
+            return
+        pos = 0
         with open(self._path, "rb") as fh:
             with mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ) as mm:
                 for offset, comp_size, n_events, crc, flags in records:
+                    lo, hi = pos, pos + n_events
+                    pos = hi
+                    if hi <= start_event:
+                        continue
+                    if lo >= stop:
+                        break
                     payload = mm[offset : offset + comp_size]
                     if len(payload) != comp_size or zlib.crc32(payload) != crc:
                         raise TraceFormatError(f"{self._path}: chunk CRC mismatch")
-                    yield _decode_chunk(payload, n_events, flags)
+                    arr = _decode_chunk(payload, n_events, flags)
+                    a = start_event - lo if lo < start_event else 0
+                    b = stop - lo if hi > stop else n_events
+                    yield arr if a == 0 and b == n_events else arr[a:b]
 
     def iter_events(
-        self, chunk_events: int | None = None
+        self,
+        chunk_events: int | None = None,
+        *,
+        start_event: int = 0,
+        stop_event: int | None = None,
     ) -> Iterator[tuple[np.ndarray, int | None]]:
         """Yield ``(window, next_event)`` in windows of ``chunk_events``.
 
@@ -359,13 +384,27 @@ class TraceStore:
         for their chunk-boundary sequentiality check. When the window
         size equals the stored chunk size (the default), stored chunks
         stream through without copying.
+
+        ``start_event``/``stop_event`` restrict iteration to the event
+        slice ``[start_event, stop_event)`` — the same contract as
+        :meth:`BlockTrace.iter_events`: the final window's ``next_event``
+        peeks one event past ``stop_event`` into the underlying stream,
+        and only the stored chunks overlapping the slice are decompressed.
         """
         window = chunk_events or self._chunk_events
         if window <= 0:
             raise ValueError("chunk_events must be positive")
+        self._ensure()
+        total = self._n_events
+        stop = total if stop_event is None else min(max(int(stop_event), 0), total)
+        start = min(max(int(start_event), 0), stop)
+        limit = stop - start
+        if limit == 0:
+            return
+        # decode one event past the slice: the final window's boundary peek
+        stored = self._iter_stored(start, min(stop + 1, total))
         buf: deque[np.ndarray] = deque()
         have = 0
-        stored = self._iter_stored()
         exhausted = False
 
         def pull() -> None:
@@ -379,12 +418,11 @@ class TraceStore:
                 buf.append(arr)
                 have += arr.shape[0]
 
-        while True:
-            while have < window and not exhausted:
+        emitted = 0
+        while emitted < limit:
+            take = min(window, limit - emitted)
+            while have < take + 1 and not exhausted:
                 pull()
-            if have == 0:
-                return
-            take = min(window, have)
             parts: list[np.ndarray] = []
             need = take
             while need:
@@ -398,9 +436,8 @@ class TraceStore:
                     buf[0] = head[need:]
                     need = 0
             have -= take
+            emitted += take
             out = parts[0] if len(parts) == 1 else np.concatenate(parts)
-            while have == 0 and not exhausted:
-                pull()
             yield out, (int(buf[0][0]) if have else None)
 
     # -- BlockTrace compatibility ----------------------------------------

@@ -35,6 +35,8 @@ def run_fused(
     pairs: Sequence[tuple[Layout, object]],
     *,
     chunk_events: int = 2_000_000,
+    start_event: int = 0,
+    stop_event: int | None = None,
 ) -> None:
     """Feed every ``(layout, stream)`` pair in one pass over ``trace``.
 
@@ -44,6 +46,11 @@ def run_fused(
     Streams sharing the same layout *object* share the per-window
     expansion, and among those, streams with equal ``line_bytes`` share
     the SEQ.3 fetch-length computation.
+
+    ``start_event``/``stop_event`` restrict the pass to that event slice
+    of the trace; the sharded engine (:mod:`repro.simulators.sharded`)
+    uses window-aligned slices so consecutive passes splice together
+    bit-identically to one full pass.
     """
     if not pairs:
         return
@@ -58,7 +65,9 @@ def run_fused(
         else:
             groups[at][1].append(stream)
 
-    for ctx in iter_chunk_contexts(trace, program, chunk_events):
+    for ctx in iter_chunk_contexts(
+        trace, program, chunk_events, start_event=start_event, stop_event=stop_event
+    ):
         for layout, streams in groups:
             chunk = expand_chunk(ctx, layout)
             lengths_for: dict[int, object] = {}

@@ -220,6 +220,33 @@ class TraceCacheStream:
     def n_cycles_base(self) -> int:
         return self.n_hits + self.n_misses
 
+    def state_dict(self) -> dict:
+        """Complete carried state (counters + entry array), picklable.
+
+        Consumers and collected miss-line chunks are intentionally
+        excluded: the sharded relay carries consumer states separately
+        and accumulates line chunks per shard.
+        """
+        return {
+            "n_instructions": self.n_instructions,
+            "n_hits": self.n_hits,
+            "n_misses": self.n_misses,
+            "n_taken": self.n_taken,
+            "entries": list(self._entries),
+        }
+
+    def load_state(self, state: dict) -> None:
+        entries = list(state["entries"])
+        if len(entries) != self.config.n_entries:
+            raise ValueError(
+                f"state has {len(entries)} entries, config wants {self.config.n_entries}"
+            )
+        self.n_instructions = int(state["n_instructions"])
+        self.n_hits = int(state["n_hits"])
+        self.n_misses = int(state["n_misses"])
+        self.n_taken = int(state["n_taken"])
+        self._entries = entries
+
     def result(self) -> TraceCacheResult:
         return TraceCacheResult(
             layout_name=self.layout_name,

@@ -83,6 +83,27 @@ def test_fail_reports_without_ending_the_stream():
     assert "2 steps" in lines[-1] and "1 failed" in lines[-1]
 
 
+def test_retried_unit_is_not_double_counted_toward_total():
+    """A unit that fails, retries, and then completes advances the counter
+    exactly once: ``fail`` reports without stepping, so the final count
+    matches the declared total and no report line overshoots it."""
+    out = io.StringIO()
+    clock = FakeClock()
+    prog = Progress("suite", total=2, enabled=True, stream=out, clock=clock)
+    clock.t = 1.0
+    prog.step("a")
+    prog.fail("task b: OSError('flaky') (attempt 1, retrying)")
+    prog.fail("task b: OSError('flaky') (attempt 2, retrying)")
+    clock.t = 2.0
+    prog.step("b (third attempt)")
+    prog.done()
+    assert prog.count == 2 and prog.failures == 2
+    body = out.getvalue()
+    assert "2/2" in body
+    assert "3/2" not in body and "4/2" not in body
+    assert "2 steps" in body.splitlines()[-1]
+
+
 def test_fail_is_silent_when_disabled():
     out = io.StringIO()
     prog = Progress("x", total=1, stream=out)

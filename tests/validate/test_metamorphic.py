@@ -17,6 +17,7 @@ from repro.validate.laws import (
     law_cold_permutation,
     law_concat_vs_chunked,
     law_fused_group_split,
+    law_shard_split,
     run_laws,
 )
 
@@ -56,8 +57,14 @@ def test_law_fused_group_split(seed, chunk_events):
     assert law_fused_group_split(rng, chunk_events) == []
 
 
+@given(seed=seeds, chunk_events=windows)
+def test_law_shard_split(seed, chunk_events):
+    rng = np.random.default_rng(seed)
+    assert law_shard_split(rng, chunk_events) == []
+
+
 @pytest.mark.parametrize("seed", [0, 7])
 def test_run_laws_clean(seed):
     n_cases, violations = run_laws(seed, rounds=3)
-    assert n_cases == 3 * 4 * len(LAW_CHUNK_EVENTS)
+    assert n_cases == 3 * 5 * len(LAW_CHUNK_EVENTS)  # 5 laws per round/window
     assert violations == []
